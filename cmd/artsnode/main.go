@@ -1,0 +1,124 @@
+// Command artsnode runs a simulated backbone node agent: it replays a
+// trace (or generates one) through the node's statistics path —
+// optionally with the T3 firmware's 1-in-k sampling — and serves
+// ARTS-style object reports over TCP for a NOC collector (see
+// cmd/noccollect).
+//
+// Usage:
+//
+//	artsnode -listen 127.0.0.1:4501 -name ENSS-SanDiego [-backbone t3]
+//	         [-k 50] [-in trace.nstr] [-replay-seconds 60] [-rate 1000]
+//
+// The node replays traffic in simulated time as fast as possible,
+// re-replaying the trace in a loop with -loop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netsample/internal/arts"
+	"netsample/internal/collect"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("artsnode: ")
+
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	name := flag.String("name", "ENSS-SanDiego", "node name in reports")
+	backbone := flag.String("backbone", "t3", "t1|t3 object profile")
+	k := flag.Int("k", 50, "firmware sampling granularity (1 = unsampled)")
+	in := flag.String("in", "", "NSTR trace to replay (default: generate)")
+	seconds := flag.Int("replay-seconds", 60, "generated trace duration")
+	rate := flag.Float64("rate", 1000, "generated trace packets/second")
+	loop := flag.Bool("loop", false, "re-replay the trace forever")
+	realtime := flag.Bool("realtime", false, "pace the replay at trace timestamps")
+	flag.Parse()
+
+	var bb arts.Backbone
+	switch *backbone {
+	case "t1":
+		bb = arts.T1
+	case "t3":
+		bb = arts.T3
+	default:
+		log.Fatalf("unknown backbone %q", *backbone)
+	}
+
+	tr, err := loadOrGenerate(*in, *seconds, *rate)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+
+	agent := collect.NewAgent(*name, bb)
+	addr, err := agent.Serve(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("agent %s (%s objects) listening on %s\n", *name, bb, addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	go replay(agent, tr, *k, *loop, *realtime, stop)
+
+	<-stop
+	fmt.Println("shutting down")
+	if err := agent.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}
+
+// loadOrGenerate reads an NSTR file or synthesizes a trace.
+func loadOrGenerate(path string, seconds int, rate float64) (*trace.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	cfg := traffgen.NSFNETHour()
+	cfg.Duration = time.Duration(seconds) * time.Second
+	cfg.TargetPPS = rate
+	return traffgen.Generate(cfg)
+}
+
+// replay feeds the trace through the agent, applying 1-in-k firmware
+// selection with scale-up weight k.
+func replay(agent *collect.Agent, tr *trace.Trace, k int, loop, realtime bool, stop <-chan os.Signal) {
+	if k < 1 {
+		k = 1
+	}
+	for {
+		counter := 0
+		var prev int64
+		for _, p := range tr.Packets {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if realtime && p.Time > prev {
+				time.Sleep(time.Duration(p.Time-prev) * time.Microsecond)
+				prev = p.Time
+			}
+			counter++
+			if counter%k == 0 {
+				agent.Record(p, uint64(k))
+			}
+		}
+		if !loop {
+			return
+		}
+	}
+}

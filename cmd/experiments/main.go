@@ -1,0 +1,72 @@
+// Command experiments regenerates every table and figure of the paper on
+// the calibrated synthetic parent population and prints the results.
+//
+// Usage:
+//
+//	experiments [-in trace.nstr] [-only figure8] [-quick]
+//
+// Without -in the calibrated hour trace is generated in memory (~1.5 M
+// packets, a second or two). -quick substitutes a two-minute population
+// for a fast smoke run. -only restricts output to one artifact id
+// (table1..table3, figure1..figure11, sec5.1, sec5.2).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"netsample/internal/experiment"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	in := flag.String("in", "", "NSTR trace to use as the parent population (default: generate)")
+	only := flag.String("only", "", "render only the artifact with this id")
+	quick := flag.Bool("quick", false, "use a 2-minute population for a fast run")
+	format := flag.String("format", "text", "output format: text|csv|json")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			log.Fatalf("open: %v", ferr)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	case *quick:
+		tr, err = traffgen.Generate(traffgen.SmallTrace(12345))
+	default:
+		tr, err = traffgen.Hour()
+	}
+	if err != nil {
+		log.Fatalf("population: %v", err)
+	}
+
+	results, err := experiment.All(tr)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if *only != "" {
+		var filtered []experiment.Result
+		for _, r := range results {
+			if r.ID() == *only {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			log.Fatalf("no artifact with id %q", *only)
+		}
+		results = filtered
+	}
+	if err := experiment.WriteAllFormat(os.Stdout, results, *format); err != nil {
+		log.Fatalf("render: %v", err)
+	}
+}

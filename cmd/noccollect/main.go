@@ -1,0 +1,98 @@
+// Command noccollect is the NOC-side collector: it polls one or more
+// artsnode agents on a cycle (the backbone used 15 minutes; scale down
+// with -interval for demonstrations), aggregates the reports
+// backbone-wide, and prints a summary of each cycle.
+//
+// Usage:
+//
+//	noccollect -agents 127.0.0.1:4501,127.0.0.1:4502 [-interval 15s] [-cycles 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"netsample/internal/collect"
+	"netsample/internal/packet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noccollect: ")
+
+	agents := flag.String("agents", "", "comma-separated agent addresses (required)")
+	interval := flag.Duration("interval", 15*time.Second, "poll cycle (15m on the real backbone)")
+	cycles := flag.Int("cycles", 0, "number of cycles to run (0 = forever)")
+	topN := flag.Int("top", 5, "matrix rows to print per cycle")
+	flag.Parse()
+
+	if *agents == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrs := strings.Split(*agents, ",")
+	c := collect.NewCollector()
+
+	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
+		start := time.Now()
+		results := c.PollAll(addrs)
+		view, err := collect.Aggregate(results)
+		if err != nil {
+			log.Fatalf("aggregate: %v", err)
+		}
+		fmt.Printf("--- cycle %d at %s (%d nodes, %d failed) ---\n",
+			cycle, start.Format(time.TimeOnly), len(view.Nodes), len(view.Failed))
+		for _, f := range view.Failed {
+			fmt.Printf("  poll failed: %s: %v\n", f.Addr, f.Err)
+		}
+		fmt.Printf("  backbone packet total (scaled): %d\n", view.TotalPackets())
+
+		// Protocol mix.
+		var protoNames []string
+		for p := range view.Protocols.Protos {
+			protoNames = append(protoNames, p.String())
+		}
+		sort.Strings(protoNames)
+		fmt.Printf("  protocols: %s\n", strings.Join(protoNames, " "))
+
+		// Heaviest source-destination network pairs.
+		pairs := view.Matrix.Pairs()
+		if len(pairs) > *topN {
+			pairs = pairs[:*topN]
+		}
+		for _, e := range pairs {
+			fmt.Printf("  %15s -> %-15s %10d pkts %12d bytes\n",
+				e.Pair.Src, e.Pair.Dst, e.Counters.Packets, e.Counters.Bytes)
+		}
+
+		// Port mix, by packet volume.
+		type portRow struct {
+			name string
+			pkts uint64
+		}
+		var ports []portRow
+		for p, cnt := range view.Ports.Ports {
+			name := packet.PortName(p)
+			if p == 0 {
+				name = "other"
+			}
+			ports = append(ports, portRow{name, cnt.Packets})
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i].pkts > ports[j].pkts })
+		var parts []string
+		for _, pr := range ports {
+			parts = append(parts, fmt.Sprintf("%s:%d", pr.name, pr.pkts))
+		}
+		fmt.Printf("  ports: %s\n", strings.Join(parts, " "))
+
+		if *cycles != 0 && cycle == *cycles {
+			break
+		}
+		time.Sleep(*interval)
+	}
+}

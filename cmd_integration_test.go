@@ -1,0 +1,146 @@
+package netsample
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the CLI tools once per test process and returns
+// the binary directory. Skipped in -short mode.
+func buildTools(t *testing.T, tools ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range tools {
+		bin := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateSampleEvaluate(t *testing.T) {
+	dir := buildTools(t, "tracegen", "sample", "phieval", "traceinfo")
+	tr := filepath.Join(t.TempDir(), "t.nstr")
+
+	// tracegen: a 30-second trace.
+	out := run(t, filepath.Join(dir, "tracegen"),
+		"-out", tr, "-seconds", "30", "-pps", "600", "-seed", "42")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("tracegen output: %s", out)
+	}
+
+	// sample: 1-in-50 systematic.
+	sub := filepath.Join(t.TempDir(), "s.nstr")
+	out = run(t, filepath.Join(dir, "sample"),
+		"-in", tr, "-out", sub, "-method", "systematic", "-k", "50")
+	if !strings.Contains(out, "systematic/packet") || !strings.Contains(out, "fraction 0.02") {
+		t.Fatalf("sample output: %s", out)
+	}
+
+	// phieval: all metrics for stratified sampling.
+	out = run(t, filepath.Join(dir, "phieval"),
+		"-in", tr, "-method", "stratified", "-k", "50", "-target", "size", "-reps", "3")
+	if !strings.Contains(out, "mean phi:") {
+		t.Fatalf("phieval output: %s", out)
+	}
+
+	// traceinfo on the original and pcap conversion round trip.
+	pcap := filepath.Join(t.TempDir(), "t.pcap")
+	out = run(t, filepath.Join(dir, "traceinfo"), "-in", tr, "-convert", pcap)
+	if !strings.Contains(out, "table2") || !strings.Contains(out, "protocol composition") {
+		t.Fatalf("traceinfo output: %s", out)
+	}
+	out = run(t, filepath.Join(dir, "traceinfo"), "-in", pcap, "-format", "pcap")
+	if !strings.Contains(out, "table3") {
+		t.Fatalf("traceinfo pcap output: %s", out)
+	}
+}
+
+func TestCLIExperimentsQuick(t *testing.T) {
+	dir := buildTools(t, "experiments")
+	out := run(t, filepath.Join(dir, "experiments"), "-quick", "-only", "sec5.2")
+	if !strings.Contains(out, "replications rejected at the 0.05 level") {
+		t.Fatalf("experiments output: %s", out)
+	}
+	out = run(t, filepath.Join(dir, "experiments"), "-quick", "-only", "figure7", "-format", "csv")
+	if !strings.HasPrefix(out, "artifact,granularity,mean_phi") {
+		t.Fatalf("experiments csv output: %s", out)
+	}
+}
+
+func TestCLICollectionPair(t *testing.T) {
+	dir := buildTools(t, "artsnode", "noccollect")
+	// Start an agent on a fixed ephemeral-style port.
+	const addr = "127.0.0.1:45917"
+	agent := exec.Command(filepath.Join(dir, "artsnode"),
+		"-listen", addr, "-name", "test-node", "-replay-seconds", "5", "-rate", "2000", "-k", "10")
+	agentOut, err := agent.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = agent.Process.Kill()
+		_ = agent.Wait()
+	}()
+	// Wait for the listening banner.
+	banner := make([]byte, 256)
+	n, err := agentOut.Read(banner)
+	if err != nil || !strings.Contains(string(banner[:n]), "listening") {
+		t.Fatalf("agent banner: %q, %v", banner[:n], err)
+	}
+
+	out := run(t, filepath.Join(dir, "noccollect"),
+		"-agents", addr, "-cycles", "1", "-interval", "1s")
+	if !strings.Contains(out, "cycle 1") || !strings.Contains(out, "backbone packet total") {
+		t.Fatalf("noccollect output: %s", out)
+	}
+}
+
+func TestCLITraceinfoFlows(t *testing.T) {
+	dir := buildTools(t, "tracegen", "traceinfo")
+	tr := filepath.Join(t.TempDir(), "t.nstr")
+	run(t, filepath.Join(dir, "tracegen"), "-out", tr, "-seconds", "20", "-pps", "500", "-q")
+	out := run(t, filepath.Join(dir, "traceinfo"), "-in", tr, "-flows")
+	if !strings.Contains(out, "largest flows:") || !strings.Contains(out, "singletons") {
+		t.Fatalf("traceinfo -flows output: %s", out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short mode")
+	}
+	for _, ex := range []string{"quickstart", "billing", "adaptivenode", "livecollect"} {
+		cmd := exec.Command("go", "run", "./examples/"+ex)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("example %s: %v\n%s", ex, err, out)
+		}
+		if len(out) == 0 {
+			t.Fatalf("example %s produced no output", ex)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Billing: the paper's Section 5.2 service-provider scenario. A provider
+// charges clients by packet volume but only *samples* traffic; each
+// client's bill is the sampled count scaled by the granularity. The cost
+// (l1) metric totals the absolute billing discrepancy — overcharges
+// client dissatisfaction, undercharges lost revenue — and relative cost
+// credits the resource savings of sampling less often.
+//
+// Run with:
+//
+//	go run ./examples/billing
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"netsample/internal/core"
+	"netsample/internal/dist"
+	"netsample/internal/packet"
+	"netsample/internal/traffgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tr, err := traffgen.Generate(traffgen.SmallTrace(5150))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// True per-client (source network) packet counts.
+	truth := map[packet.Addr]float64{}
+	for _, p := range tr.Packets {
+		truth[p.Src.NetworkNumber()]++
+	}
+	fmt.Printf("population: %d packets from %d client networks\n\n", tr.Len(), len(truth))
+
+	r := dist.NewRNG(99)
+	fmt.Printf("%8s %14s %14s %12s %12s\n", "1/frac", "overcharge", "undercharge", "l1 cost", "rel cost")
+	for _, k := range []int{10, 50, 250, 1000, 5000} {
+		idx, err := core.StratifiedCount{K: k}.Select(tr, r.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Bill each client: sampled count × k.
+		billed := map[packet.Addr]float64{}
+		for _, i := range idx {
+			billed[tr.Packets[i].Src.NetworkNumber()] += float64(k)
+		}
+		var over, under float64
+		for net, actual := range truth {
+			d := billed[net] - actual
+			if d > 0 {
+				over += d
+			} else {
+				under -= d
+			}
+		}
+		for net, est := range billed {
+			if _, ok := truth[net]; !ok {
+				over += est
+			}
+			_ = net
+		}
+		cost := over + under
+		fmt.Printf("%8d %13.0fp %13.0fp %11.0fp %12.1f\n",
+			k, over, under, cost, cost/float64(k))
+	}
+
+	// Show the worst-billed clients at the operational granularity.
+	const k = 50
+	idx, err := core.SystematicCount{K: k}.Select(tr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	billed := map[packet.Addr]float64{}
+	for _, i := range idx {
+		billed[tr.Packets[i].Src.NetworkNumber()] += k
+	}
+	type row struct {
+		net  packet.Addr
+		real float64
+		bill float64
+	}
+	var rows []row
+	for net, actual := range truth {
+		rows = append(rows, row{net, actual, billed[net]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di := rows[i].bill - rows[i].real
+		if di < 0 {
+			di = -di
+		}
+		dj := rows[j].bill - rows[j].real
+		if dj < 0 {
+			dj = -dj
+		}
+		return di > dj
+	})
+	fmt.Printf("\nworst-billed clients at 1-in-%d systematic sampling:\n", k)
+	fmt.Printf("%18s %10s %10s %9s\n", "client network", "actual", "billed", "error")
+	for i := 0; i < 5 && i < len(rows); i++ {
+		rw := rows[i]
+		errPct := 0.0
+		if rw.real > 0 {
+			errPct = 100 * (rw.bill - rw.real) / rw.real
+		}
+		fmt.Printf("%18s %10.0f %10.0f %8.1f%%\n", rw.net, rw.real, rw.bill, errPct)
+	}
+	fmt.Println("\nsmall clients suffer the largest relative billing error —")
+	fmt.Println("the paper's point that sparse matrix cells sample poorly.")
+}

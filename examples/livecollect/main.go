@@ -1,0 +1,180 @@
+// Livecollect: an end-to-end NSFNET-style collection run over real
+// sockets on loopback. Three simulated backbone nodes feed synthetic
+// traffic into their collection agents — one T1 node whose statistics
+// processor keeps up, one overloaded T1 node that silently loses
+// categorization data, and one T3 node using 1-in-50 firmware sampling.
+// Each node also exposes its exact in-path interface counters through a
+// small SNMP-style UDP agent, as the real backbone did. A NOC collector
+// polls the TCP collection agents, queries the UDP counters, and prints
+// the backbone-wide aggregate next to the SNMP truth — demonstrating
+// why the backbone moved to sampling.
+//
+// Run with:
+//
+//	go run ./examples/livecollect
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"netsample/internal/arts"
+	"netsample/internal/collect"
+	"netsample/internal/nsfnet"
+	"netsample/internal/snmp"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+// node bundles a collection agent, an SNMP agent, and the node's exact
+// forwarding-path counters.
+type node struct {
+	name     string
+	agent    *collect.Agent
+	addr     string
+	snmpAddr string
+	inPkts   atomic.Uint64
+	inOctets atomic.Uint64
+}
+
+func main() {
+	log.SetFlags(0)
+
+	mkTrace := func(seed uint64, pps float64) *trace.Trace {
+		cfg := traffgen.NSFNETHour()
+		cfg.Seed = seed
+		cfg.Duration = 30 * time.Second
+		cfg.TargetPPS = pps
+		tr, err := traffgen.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tr
+	}
+
+	var nodes []*node
+	start := func(name string, backbone arts.Backbone) *node {
+		n := &node{name: name, agent: collect.NewAgent(name, backbone)}
+		addr, err := n.agent.Serve("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		n.addr = addr.String()
+		// The exact interface counters, served over UDP as on the real
+		// backbone.
+		sa := snmp.NewAgent()
+		if err := sa.Register("if.0.inPkts", n.inPkts.Load); err != nil {
+			log.Fatal(err)
+		}
+		if err := sa.Register("if.0.inOctets", n.inOctets.Load); err != nil {
+			log.Fatal(err)
+		}
+		ua, err := sa.Serve("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		n.snmpAddr = ua.String()
+		nodes = append(nodes, n)
+		return n
+	}
+
+	forward := func(n *node, p trace.Packet) {
+		n.inPkts.Add(1)
+		n.inOctets.Add(uint64(p.Size))
+	}
+
+	// Node 1: lightly loaded T1 NSS; the dedicated processor keeps up,
+	// every packet is categorized.
+	n1 := start("NSS-lightly-loaded", arts.T1)
+	tr1 := mkTrace(101, 500)
+	proc1 := nsfnet.NewProcessor(5000, 64)
+	for _, p := range tr1.Packets {
+		forward(n1, p)
+		if proc1.Offer(p.Time) {
+			n1.agent.Record(p, 1)
+		}
+	}
+
+	// Node 2: the mid-1991 situation — traffic has outgrown the
+	// statistics processor; SNMP counts stay exact, categorization
+	// silently falls behind.
+	n2 := start("NSS-overloaded", arts.T1)
+	tr2 := mkTrace(102, 2500)
+	proc2 := nsfnet.NewProcessor(900, 32) // far below offered load
+	for _, p := range tr2.Packets {
+		forward(n2, p)
+		if proc2.Offer(p.Time) {
+			n2.agent.Record(p, 1)
+		}
+	}
+
+	// Node 3: the T3 architecture — firmware forwards every 50th packet
+	// to the main CPU, where ARTS records it with weight 50.
+	n3 := start("ENSS-T3-sampled", arts.T3)
+	tr3 := mkTrace(103, 2500)
+	counter := 0
+	for _, p := range tr3.Packets {
+		forward(n3, p)
+		counter++
+		if counter%50 == 0 {
+			n3.agent.Record(p, 50)
+		}
+	}
+
+	// The NOC polls the collection agents over TCP (15 minutes on the
+	// real backbone; immediate here) and the counters over UDP.
+	c := collect.NewCollector()
+	mgr := snmp.NewManager()
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	results := c.PollAll(addrs)
+
+	fmt.Printf("%-22s %12s %12s %10s\n", "node", "snmp", "categorized", "shortfall")
+	var snmpTotal uint64
+	for i, res := range results {
+		if res.Err != nil {
+			log.Fatalf("poll %s: %v", addrs[i], res.Err)
+		}
+		vals, err := mgr.Get(nodes[i].snmpAddr, "if.0.inPkts", "if.0.inOctets")
+		if err != nil {
+			log.Fatalf("snmp %s: %v", nodes[i].name, err)
+		}
+		truth := vals["if.0.inPkts"]
+		snmpTotal += truth
+		pr, err := res.Report.Protocols()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cat uint64
+		for _, cnt := range pr.Protos {
+			cat += cnt.Packets
+		}
+		short := 1 - float64(cat)/float64(truth)
+		fmt.Printf("%-22s %12d %12d %9.1f%%\n", nodes[i].name, truth, cat, 100*short)
+	}
+
+	view, err := collect.Aggregate(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbackbone-wide: SNMP %d packets, collection %d (%.1f%% of truth)\n",
+		snmpTotal, view.TotalPackets(), 100*float64(view.TotalPackets())/float64(snmpTotal))
+	fmt.Printf("top source->destination network pairs:\n")
+	pairs := view.Matrix.Pairs()
+	for i := 0; i < 5 && i < len(pairs); i++ {
+		e := pairs[i]
+		fmt.Printf("  %15s -> %-15s %9d pkts\n", e.Pair.Src, e.Pair.Dst, e.Counters.Packets)
+	}
+	fmt.Println("\nthe overloaded node undercounts badly; the sampled T3 node's")
+	fmt.Println("scaled estimate stays near the SNMP truth at 2% of the cost.")
+
+	for _, n := range nodes {
+		if err := n.agent.Close(); err != nil {
+			log.Printf("close %s: %v", n.name, err)
+		}
+	}
+}

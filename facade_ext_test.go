@@ -1,0 +1,88 @@
+package netsample
+
+import (
+	"testing"
+)
+
+// Tests for the extended facade surface: flows, estimation, streaming.
+
+func TestFacadeFlows(t *testing.T) {
+	tr := facadeTrace(t)
+	fs, err := DecomposeFlows(tr, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) < 20 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+	var pkts int64
+	for _, f := range fs {
+		pkts += f.Packets
+	}
+	if pkts != int64(tr.Len()) {
+		t.Fatalf("flow packets %d != %d", pkts, tr.Len())
+	}
+}
+
+func TestFacadeEstimation(t *testing.T) {
+	tr := facadeTrace(t)
+	idx, err := Systematic(50).Select(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observations(tr, TargetSize, idx)
+	est, err := EstimateMean(obs, tr.Len(), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, s := range tr.Sizes() {
+		truth += s
+	}
+	truth /= float64(tr.Len())
+	if !est.Contains(truth) {
+		t.Fatalf("interval [%v, %v] misses %v", est.Low, est.High, truth)
+	}
+	p, err := EstimateProportion(obs, func(x float64) bool { return x < 41 }, tr.Len(), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value <= 0 || p.Value >= 1 {
+		t.Fatalf("proportion = %v", p.Value)
+	}
+}
+
+func TestFacadeStreamingAndSketch(t *testing.T) {
+	tr := facadeTrace(t)
+	s, err := StreamingSystematic(50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewReservoir(100, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := NewTopK(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected := 0
+	for _, p := range tr.Packets {
+		if s.Offer(p.Time) {
+			selected++
+			tk.Add(p.Dst.NetworkNumber().String(), 50)
+		}
+		res.Add(p)
+	}
+	want := (tr.Len() + 49) / 50
+	if selected != want {
+		t.Fatalf("streaming selected %d, want %d", selected, want)
+	}
+	if len(res.Sample()) != 100 {
+		t.Fatalf("reservoir = %d", len(res.Sample()))
+	}
+	top := tk.Top(5)
+	if len(top) != 5 || top[0].Count == 0 {
+		t.Fatalf("topk = %+v", top)
+	}
+}

@@ -1,0 +1,3 @@
+module netsample
+
+go 1.22

@@ -1,0 +1,163 @@
+// Package adaptive implements closed-loop control of the sampling
+// granularity — the operational extension of the paper's fixed 1-in-50
+// deployment. The NSFNET chose k = 50 by hand when the statistics
+// processor fell behind; an adaptive node instead measures the
+// processor's drop rate each epoch and adjusts k multiplicatively, so
+// the categorization stream always fits the processor while sampling no
+// more coarsely than necessary. Each selected packet is recorded with
+// the granularity in force when it was selected, keeping scaled counts
+// unbiased across granularity changes.
+package adaptive
+
+import (
+	"errors"
+
+	"netsample/internal/arts"
+	"netsample/internal/nsfnet"
+	"netsample/internal/trace"
+)
+
+// Controller adjusts a systematic sampler's granularity k within
+// [MinK, MaxK] once per epoch: k doubles when the statistics processor
+// dropped packets during the epoch (it cannot keep up), and halves when
+// the epoch's acceptance load stayed below LowWater of the processor's
+// capacity (fidelity is being left on the table).
+type Controller struct {
+	MinK, MaxK int
+	// LowWater is the fraction of processor capacity below which the
+	// controller refines the granularity, e.g. 0.4.
+	LowWater float64
+	// EpochUS is the adjustment period in microseconds.
+	EpochUS int64
+
+	k          int
+	epochStart int64
+	started    bool
+
+	// epoch counters
+	selected int64
+	dropped  uint64
+
+	// history of (epoch start, k) decisions, for inspection.
+	History []Decision
+}
+
+// Decision records one epoch's granularity choice.
+type Decision struct {
+	AtUS     int64
+	K        int
+	Load     float64
+	Dropped  uint64
+	Selected int64
+}
+
+// NewController validates and builds a controller starting at startK.
+func NewController(minK, maxK, startK int, lowWater float64, epochUS int64) (*Controller, error) {
+	if minK < 1 || maxK < minK {
+		return nil, errors.New("adaptive: need 1 <= MinK <= MaxK")
+	}
+	if startK < minK || startK > maxK {
+		return nil, errors.New("adaptive: start granularity outside [MinK, MaxK]")
+	}
+	if lowWater <= 0 || lowWater >= 1 {
+		return nil, errors.New("adaptive: low-water fraction must be in (0,1)")
+	}
+	if epochUS < 1 {
+		return nil, errors.New("adaptive: epoch must be positive")
+	}
+	return &Controller{
+		MinK: minK, MaxK: maxK, LowWater: lowWater, EpochUS: epochUS, k: startK,
+	}, nil
+}
+
+// K returns the granularity currently in force.
+func (c *Controller) K() int { return c.k }
+
+// observe accounts one selected packet and epoch rollover, adjusting k
+// at epoch boundaries based on processor feedback.
+func (c *Controller) observe(tUS int64, proc *nsfnet.Processor, capacityPPS float64) {
+	if !c.started {
+		c.started = true
+		c.epochStart = tUS
+		c.dropped = proc.Dropped()
+	}
+	for tUS-c.epochStart >= c.EpochUS {
+		c.adjust(proc, capacityPPS)
+		c.epochStart += c.EpochUS
+	}
+}
+
+// adjust applies the epoch decision.
+func (c *Controller) adjust(proc *nsfnet.Processor, capacityPPS float64) {
+	droppedNow := proc.Dropped()
+	epochDrops := droppedNow - c.dropped
+	epochSeconds := float64(c.EpochUS) / 1e6
+	load := float64(c.selected) / (capacityPPS * epochSeconds)
+	switch {
+	case epochDrops > 0 && c.k < c.MaxK:
+		c.k *= 2
+		if c.k > c.MaxK {
+			c.k = c.MaxK
+		}
+	case epochDrops == 0 && load < c.LowWater && c.k > c.MinK:
+		c.k /= 2
+		if c.k < c.MinK {
+			c.k = c.MinK
+		}
+	}
+	c.History = append(c.History, Decision{
+		AtUS: c.epochStart + c.EpochUS, K: c.k, Load: load,
+		Dropped: epochDrops, Selected: c.selected,
+	})
+	c.dropped = droppedNow
+	c.selected = 0
+}
+
+// Node is a T1-style node whose statistics path samples adaptively: the
+// forwarding-path counter selects every k-th packet with k steered by
+// the Controller.
+type Node struct {
+	SNMP        nsfnet.SNMPCounters
+	Objects     *arts.ObjectSet
+	Proc        *nsfnet.Processor
+	Ctl         *Controller
+	capacityPPS float64
+	counter     int
+}
+
+// NewNode builds an adaptive node with the given processor capacity and
+// buffer.
+func NewNode(capacityPPS float64, buffer int, ctl *Controller) *Node {
+	return &Node{
+		Objects:     arts.NewObjectSet(arts.T1),
+		Proc:        nsfnet.NewProcessor(capacityPPS, buffer),
+		Ctl:         ctl,
+		capacityPPS: capacityPPS,
+	}
+}
+
+// Process forwards one packet. Packets must arrive in time order.
+func (n *Node) Process(p trace.Packet) {
+	n.SNMP.InPackets++
+	n.SNMP.InOctets += uint64(p.Size)
+	n.Ctl.observe(p.Time, n.Proc, n.capacityPPS)
+	k := n.Ctl.K()
+	n.counter++
+	if n.counter%k != 0 {
+		return
+	}
+	n.Ctl.selected++
+	if n.Proc.Offer(p.Time) {
+		n.Objects.Record(p, uint64(k))
+	}
+}
+
+// ProcessTrace runs a whole trace through the node.
+func (n *Node) ProcessTrace(tr *trace.Trace) {
+	for _, p := range tr.Packets {
+		n.Process(p)
+	}
+}
+
+// CategorizedPackets reports the scaled packet total the objects saw.
+func (n *Node) CategorizedPackets() uint64 { return n.Objects.TotalPackets() }

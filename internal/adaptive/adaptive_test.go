@@ -1,0 +1,169 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	cases := []struct {
+		minK, maxK, startK int
+		low                float64
+		epoch              int64
+	}{
+		{0, 10, 1, 0.4, 1e6},  // minK < 1
+		{10, 5, 10, 0.4, 1e6}, // maxK < minK
+		{1, 10, 11, 0.4, 1e6}, // start > maxK
+		{1, 10, 0, 0.4, 1e6},  // start < minK
+		{1, 10, 1, 0, 1e6},    // lowWater 0
+		{1, 10, 1, 1, 1e6},    // lowWater 1
+		{1, 10, 1, 0.4, 0},    // epoch 0
+	}
+	for i, c := range cases {
+		if _, err := NewController(c.minK, c.maxK, c.startK, c.low, c.epoch); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewController(1, 1024, 1, 0.4, 1e6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rampTrace produces a constant-size packet stream whose rate ramps from
+// lowPPS to highPPS over the duration.
+func rampTrace(durSeconds int, lowPPS, highPPS float64) *trace.Trace {
+	tr := &trace.Trace{Start: time.Unix(0, 0).UTC()}
+	durUS := int64(durSeconds) * 1e6
+	t := int64(0)
+	for t < durUS {
+		frac := float64(t) / float64(durUS)
+		rate := lowPPS + (highPPS-lowPPS)*frac
+		gap := int64(1e6 / rate)
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Time: t, Size: 552, Protocol: packet.ProtoTCP,
+			Src: packet.Addr{132, 249, 0, 1}, Dst: packet.Addr{18, 0, 0, 1},
+		})
+	}
+	return tr
+}
+
+func TestControllerCoarsensUnderOverload(t *testing.T) {
+	ctl, err := NewController(1, 1024, 1, 0.4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(200, 16, ctl) // 200 pps capacity
+	node.ProcessTrace(rampTrace(20, 2000, 2000))
+	if ctl.K() == 1 {
+		t.Fatal("controller never coarsened under 10x overload")
+	}
+	// Once k settles, drops should cease in later epochs.
+	if len(ctl.History) < 5 {
+		t.Fatalf("history = %d epochs", len(ctl.History))
+	}
+	late := ctl.History[len(ctl.History)-2:]
+	for _, d := range late {
+		if d.Dropped > 0 {
+			t.Errorf("late epoch still dropping: %+v", d)
+		}
+	}
+}
+
+func TestControllerRefinesWhenIdle(t *testing.T) {
+	ctl, err := NewController(1, 1024, 256, 0.4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(5000, 64, ctl) // ample capacity
+	node.ProcessTrace(rampTrace(20, 500, 500))
+	if ctl.K() >= 256 {
+		t.Fatalf("controller stuck at k=%d despite idle processor", ctl.K())
+	}
+}
+
+func TestControllerRespectsBounds(t *testing.T) {
+	ctl, err := NewController(4, 64, 8, 0.4, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(50, 4, ctl) // absurdly slow processor
+	node.ProcessTrace(rampTrace(10, 5000, 5000))
+	if ctl.K() > 64 {
+		t.Fatalf("k = %d exceeded MaxK", ctl.K())
+	}
+	ctl2, err := NewController(4, 64, 32, 0.9, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2 := NewNode(1e6, 64, ctl2) // infinite capacity
+	node2.ProcessTrace(rampTrace(10, 100, 100))
+	if ctl2.K() < 4 {
+		t.Fatalf("k = %d under MinK", ctl2.K())
+	}
+}
+
+func TestAdaptiveAccuracyUnderRamp(t *testing.T) {
+	// Offered load ramps 4x across the interval. The adaptive node's
+	// scaled categorization total must stay close to the SNMP truth,
+	// while a fixed unsampled node with the same processor undercounts.
+	tr := rampTrace(30, 400, 1600)
+	ctl, err := NewController(1, 256, 1, 0.4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveNode := NewNode(500, 32, ctl)
+	adaptiveNode.ProcessTrace(tr)
+	truth := float64(adaptiveNode.SNMP.InPackets)
+	est := float64(adaptiveNode.CategorizedPackets())
+	if math.Abs(est-truth)/truth > 0.08 {
+		t.Fatalf("adaptive estimate %v vs truth %v", est, truth)
+	}
+
+	fixed := nodeWithFixedK(t, tr, 500, 32)
+	shortfall := 1 - float64(fixed)/truth
+	if shortfall < 0.2 {
+		t.Fatalf("fixed unsampled node shortfall %v, expected severe", shortfall)
+	}
+}
+
+// nodeWithFixedK runs the nsfnet T1 node (unsampled) for comparison.
+func nodeWithFixedK(t *testing.T, tr *trace.Trace, capacity float64, buffer int) uint64 {
+	t.Helper()
+	ctl, err := NewController(1, 1, 1, 0.4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(capacity, buffer, ctl)
+	n.ProcessTrace(tr)
+	return n.CategorizedPackets()
+}
+
+func TestAdaptiveOnRealisticTraffic(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(1, 512, 50, 0.4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(100, 16, ctl)
+	node.ProcessTrace(tr)
+	truth := float64(node.SNMP.InPackets)
+	est := float64(node.CategorizedPackets())
+	if math.Abs(est-truth)/truth > 0.15 {
+		t.Fatalf("adaptive estimate %v vs truth %v on bursty traffic", est, truth)
+	}
+	if len(ctl.History) == 0 {
+		t.Fatal("no control decisions recorded")
+	}
+}

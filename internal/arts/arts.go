@@ -1,0 +1,176 @@
+// Package arts implements the traffic-characterization objects of the
+// NSFNET statistics collection (the paper's Table 1), in the mold of the
+// NNStat (T1 backbone) and ARTS (T3 backbone) packages:
+//
+//	relative to the exterior nodal interface:
+//	  - source-destination traffic matrix by network number (pkts/bytes)
+//	  - TCP/UDP port distribution, well-known subset (pkts/bytes)
+//	  - distribution of protocol over IP (pkts/bytes)
+//	  - packet-length histogram at 50-byte granularity
+//	  - packet volume going out of the backbone node
+//	NSS-centric:
+//	  - per-second histogram of packet arrival rates (20 pps granularity)
+//	  - NSS transit traffic volume
+//
+// Objects accumulate Record()ed packets, report a Snapshot, and Reset on
+// the NOC's 15-minute poll cycle ("report and then reset their object
+// counters"). Each object serializes to a compact binary form for the
+// collection protocol in package collect.
+package arts
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+)
+
+// Counters is the packets/bytes pair every Table 1 object accumulates.
+type Counters struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// add accumulates one packet of the given size.
+func (c *Counters) add(size uint16, weight uint64) {
+	c.Packets += weight
+	c.Bytes += weight * uint64(size)
+}
+
+// Object is a traffic-characterization object. Record consumes one
+// packet; Weight-ed recording supports sampled collection, where each
+// selected packet stands for `weight` packets (50 on the T3 backbone).
+type Object interface {
+	// Name is the object's identifier in collection reports.
+	Name() string
+	// Record accumulates a packet with the given scale-up weight
+	// (1 for unsampled collection).
+	Record(p trace.Packet, weight uint64)
+	// Reset zeroes the counters (the post-poll reset).
+	Reset()
+	// MarshalBinary serializes the current counters.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary replaces the object's state with the serialized
+	// counters.
+	UnmarshalBinary(data []byte) error
+}
+
+// ErrCorrupt reports an undecodable serialized object.
+var ErrCorrupt = errors.New("arts: corrupt serialized object")
+
+// --- source/destination matrix ---------------------------------------------
+
+// NetPair keys the traffic matrix: classful network numbers of source
+// and destination.
+type NetPair struct {
+	Src, Dst packet.Addr
+}
+
+// SrcDstMatrix is the source-destination traffic volume matrix by
+// network number.
+type SrcDstMatrix struct {
+	M map[NetPair]Counters
+}
+
+// NewSrcDstMatrix returns an empty matrix.
+func NewSrcDstMatrix() *SrcDstMatrix {
+	return &SrcDstMatrix{M: make(map[NetPair]Counters)}
+}
+
+// Name implements Object.
+func (m *SrcDstMatrix) Name() string { return "src-dst-matrix" }
+
+// Record implements Object.
+func (m *SrcDstMatrix) Record(p trace.Packet, weight uint64) {
+	key := NetPair{Src: p.Src.NetworkNumber(), Dst: p.Dst.NetworkNumber()}
+	c := m.M[key]
+	c.add(p.Size, weight)
+	m.M[key] = c
+}
+
+// Reset implements Object.
+func (m *SrcDstMatrix) Reset() { m.M = make(map[NetPair]Counters) }
+
+// Pairs returns the matrix entries sorted by descending packet count
+// (ties broken by key bytes), the order collection reports use.
+func (m *SrcDstMatrix) Pairs() []MatrixEntry {
+	out := make([]MatrixEntry, 0, len(m.M))
+	for k, v := range m.M {
+		out = append(out, MatrixEntry{Pair: k, Counters: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Counters.Packets != out[j].Counters.Packets {
+			return out[i].Counters.Packets > out[j].Counters.Packets
+		}
+		return lessPair(out[i].Pair, out[j].Pair)
+	})
+	return out
+}
+
+func lessPair(a, b NetPair) bool {
+	au, bu := a.Src.Uint32(), b.Src.Uint32()
+	if au != bu {
+		return au < bu
+	}
+	return a.Dst.Uint32() < b.Dst.Uint32()
+}
+
+// MatrixEntry is one row of the sorted matrix report.
+type MatrixEntry struct {
+	Pair     NetPair
+	Counters Counters
+}
+
+// MarshalBinary implements Object: count, then fixed 24-byte rows.
+func (m *SrcDstMatrix) MarshalBinary() ([]byte, error) {
+	entries := m.Pairs()
+	buf := make([]byte, 8+24*len(entries))
+	binary.LittleEndian.PutUint64(buf, uint64(len(entries)))
+	off := 8
+	for _, e := range entries {
+		copy(buf[off:], e.Pair.Src[:])
+		copy(buf[off+4:], e.Pair.Dst[:])
+		binary.LittleEndian.PutUint64(buf[off+8:], e.Counters.Packets)
+		binary.LittleEndian.PutUint64(buf[off+16:], e.Counters.Bytes)
+		off += 24
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements Object.
+func (m *SrcDstMatrix) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: matrix too short", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) != 8+24*n {
+		return fmt.Errorf("%w: matrix length mismatch", ErrCorrupt)
+	}
+	m.M = make(map[NetPair]Counters, n)
+	off := 8
+	for i := uint64(0); i < n; i++ {
+		var k NetPair
+		copy(k.Src[:], data[off:])
+		copy(k.Dst[:], data[off+4:])
+		m.M[k] = Counters{
+			Packets: binary.LittleEndian.Uint64(data[off+8:]),
+			Bytes:   binary.LittleEndian.Uint64(data[off+16:]),
+		}
+		off += 24
+	}
+	return nil
+}
+
+// Merge folds another matrix into this one (backbone-wide aggregation at
+// the NOC).
+func (m *SrcDstMatrix) Merge(o *SrcDstMatrix) {
+	for k, v := range o.M {
+		c := m.M[k]
+		c.Packets += v.Packets
+		c.Bytes += v.Bytes
+		m.M[k] = c
+	}
+}

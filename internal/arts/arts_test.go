@@ -1,0 +1,322 @@
+package arts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+)
+
+func tcpPkt(src, dst packet.Addr, sport, dport uint16, size uint16) trace.Packet {
+	return trace.Packet{Size: size, Protocol: packet.ProtoTCP,
+		Src: src, Dst: dst, SrcPort: sport, DstPort: dport}
+}
+
+func TestSrcDstMatrixAggregatesByNetwork(t *testing.T) {
+	m := NewSrcDstMatrix()
+	// Two hosts on the same class B source network to the same class A
+	// destination network must share a cell.
+	m.Record(tcpPkt(packet.Addr{132, 249, 1, 1}, packet.Addr{18, 1, 2, 3}, 1024, 23, 100), 1)
+	m.Record(tcpPkt(packet.Addr{132, 249, 9, 9}, packet.Addr{18, 9, 9, 9}, 1025, 23, 200), 1)
+	if len(m.M) != 1 {
+		t.Fatalf("cells = %d, want 1", len(m.M))
+	}
+	key := NetPair{Src: packet.Addr{132, 249, 0, 0}, Dst: packet.Addr{18, 0, 0, 0}}
+	c, ok := m.M[key]
+	if !ok {
+		t.Fatalf("expected key %v, have %v", key, m.M)
+	}
+	if c.Packets != 2 || c.Bytes != 300 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestSrcDstMatrixWeight(t *testing.T) {
+	m := NewSrcDstMatrix()
+	m.Record(tcpPkt(packet.Addr{10, 0, 0, 1}, packet.Addr{11, 0, 0, 1}, 1, 2, 552), 50)
+	e := m.Pairs()[0]
+	if e.Counters.Packets != 50 || e.Counters.Bytes != 50*552 {
+		t.Fatalf("weighted counters = %+v", e.Counters)
+	}
+}
+
+func TestSrcDstMatrixPairsSorted(t *testing.T) {
+	m := NewSrcDstMatrix()
+	a := tcpPkt(packet.Addr{10, 0, 0, 1}, packet.Addr{11, 0, 0, 1}, 1, 2, 100)
+	b := tcpPkt(packet.Addr{12, 0, 0, 1}, packet.Addr{13, 0, 0, 1}, 1, 2, 100)
+	m.Record(a, 1)
+	m.Record(b, 1)
+	m.Record(b, 1)
+	pairs := m.Pairs()
+	if pairs[0].Counters.Packets != 2 || pairs[1].Counters.Packets != 1 {
+		t.Fatalf("pairs not sorted by volume: %+v", pairs)
+	}
+}
+
+func TestSrcDstMatrixRoundTrip(t *testing.T) {
+	m := NewSrcDstMatrix()
+	m.Record(tcpPkt(packet.Addr{132, 249, 1, 1}, packet.Addr{18, 1, 1, 1}, 1, 23, 40), 1)
+	m.Record(tcpPkt(packet.Addr{128, 54, 2, 2}, packet.Addr{192, 31, 7, 9}, 1, 25, 552), 3)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SrcDstMatrix
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.M) != len(m.M) {
+		t.Fatalf("cells = %d", len(got.M))
+	}
+	for k, v := range m.M {
+		if got.M[k] != v {
+			t.Fatalf("cell %v = %+v, want %+v", k, got.M[k], v)
+		}
+	}
+}
+
+func TestSrcDstMatrixUnmarshalCorrupt(t *testing.T) {
+	var m SrcDstMatrix
+	if err := m.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Error("short data accepted")
+	}
+	good, _ := NewSrcDstMatrix().MarshalBinary()
+	if err := m.UnmarshalBinary(append(good, 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSrcDstMatrixMerge(t *testing.T) {
+	a := NewSrcDstMatrix()
+	b := NewSrcDstMatrix()
+	p := tcpPkt(packet.Addr{10, 0, 0, 1}, packet.Addr{11, 0, 0, 1}, 1, 2, 100)
+	a.Record(p, 1)
+	b.Record(p, 2)
+	a.Merge(b)
+	if c := a.Pairs()[0].Counters; c.Packets != 3 || c.Bytes != 300 {
+		t.Fatalf("merged = %+v", c)
+	}
+}
+
+func TestPortDistribution(t *testing.T) {
+	d := NewPortDistribution()
+	d.Record(tcpPkt(packet.Addr{10, 0, 0, 1}, packet.Addr{11, 0, 0, 1}, 1024, packet.PortTelnet, 41), 1)
+	d.Record(tcpPkt(packet.Addr{10, 0, 0, 1}, packet.Addr{11, 0, 0, 1}, packet.PortNNTP, 2000, 552), 1)
+	d.Record(tcpPkt(packet.Addr{10, 0, 0, 1}, packet.Addr{11, 0, 0, 1}, 5000, 6000, 99), 1)
+	icmp := trace.Packet{Size: 28, Protocol: packet.ProtoICMP}
+	d.Record(icmp, 1) // not TCP/UDP: ignored
+	if c := d.Ports[packet.PortTelnet]; c.Packets != 1 || c.Bytes != 41 {
+		t.Errorf("telnet = %+v", c)
+	}
+	if c := d.Ports[packet.PortNNTP]; c.Packets != 1 {
+		t.Errorf("nntp (src side) = %+v", c)
+	}
+	if c := d.Ports[0]; c.Packets != 1 || c.Bytes != 99 {
+		t.Errorf("other = %+v", c)
+	}
+	if len(d.Ports) != 3 {
+		t.Errorf("ports = %v", d.Ports)
+	}
+}
+
+func TestPortDistributionRoundTrip(t *testing.T) {
+	d := NewPortDistribution()
+	d.Record(tcpPkt(packet.Addr{1, 0, 0, 1}, packet.Addr{2, 0, 0, 1}, 1024, 23, 41), 7)
+	d.Record(tcpPkt(packet.Addr{1, 0, 0, 1}, packet.Addr{2, 0, 0, 1}, 1024, 9999, 100), 1)
+	data, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PortDistribution
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ports) != 2 || got.Ports[23].Packets != 7 {
+		t.Fatalf("got = %+v", got.Ports)
+	}
+	if err := got.UnmarshalBinary(data[:5]); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestProtocolDistribution(t *testing.T) {
+	d := NewProtocolDistribution()
+	d.Record(trace.Packet{Size: 40, Protocol: packet.ProtoTCP}, 1)
+	d.Record(trace.Packet{Size: 100, Protocol: packet.ProtoUDP}, 2)
+	d.Record(trace.Packet{Size: 28, Protocol: packet.ProtoICMP}, 1)
+	if len(d.Protos) != 3 {
+		t.Fatalf("protos = %v", d.Protos)
+	}
+	if c := d.Protos[packet.ProtoUDP]; c.Packets != 2 || c.Bytes != 200 {
+		t.Fatalf("udp = %+v", c)
+	}
+	data, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ProtocolDistribution
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Protos[packet.ProtoICMP].Packets != 1 {
+		t.Fatalf("got = %+v", got.Protos)
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	h := NewLengthHistogram()
+	h.Record(trace.Packet{Size: 0}, 1)
+	h.Record(trace.Packet{Size: 49}, 1)
+	h.Record(trace.Packet{Size: 50}, 1)
+	h.Record(trace.Packet{Size: 552}, 2)
+	h.Record(trace.Packet{Size: 1500}, 1)
+	if h.Bins[0] != 2 {
+		t.Errorf("bin 0 = %d", h.Bins[0])
+	}
+	if h.Bins[1] != 1 {
+		t.Errorf("bin 1 = %d", h.Bins[1])
+	}
+	if h.Bins[11] != 2 { // 552/50 = 11
+		t.Errorf("bin 11 = %d", h.Bins[11])
+	}
+	if h.Bins[LengthHistogramBins-1] != 1 { // 1500 overflows into last
+		t.Errorf("last bin = %d", h.Bins[LengthHistogramBins-1])
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	data, _ := h.MarshalBinary()
+	var got LengthHistogram
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != *h {
+		t.Fatal("round trip mismatch")
+	}
+	if err := got.UnmarshalBinary(data[:7]); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestRateHistogram(t *testing.T) {
+	h := NewRateHistogram()
+	// 30 packets in second 0, 3 in second 2 (second 1 empty).
+	for i := 0; i < 30; i++ {
+		h.Record(trace.Packet{Time: int64(i) * 1000}, 1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Record(trace.Packet{Time: 2_000_000 + int64(i)}, 1)
+	}
+	h.Finish()
+	if h.Bins[1] != 1 { // 30 pps → bin [20,40)
+		t.Errorf("bin 1 = %d", h.Bins[1])
+	}
+	if h.Bins[0] != 2 { // 0 pps (empty second) and 3 pps
+		t.Errorf("bin 0 = %d", h.Bins[0])
+	}
+	data, _ := h.MarshalBinary()
+	var got RateHistogram
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Bins != h.Bins {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	v := NewVolume("outbound-volume")
+	v.Record(trace.Packet{Size: 100}, 3)
+	if v.C.Packets != 3 || v.C.Bytes != 300 {
+		t.Fatalf("volume = %+v", v.C)
+	}
+	data, _ := v.MarshalBinary()
+	var got Volume
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.C != v.C {
+		t.Fatal("round trip mismatch")
+	}
+	if err := got.UnmarshalBinary(data[:3]); err == nil {
+		t.Error("short data accepted")
+	}
+	v.Reset()
+	if v.C != (Counters{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestObjectSetProfiles(t *testing.T) {
+	t1 := NewObjectSet(T1)
+	t3 := NewObjectSet(T3)
+	if len(t1.Objects()) != 7 {
+		t.Errorf("T1 objects = %d, want 7", len(t1.Objects()))
+	}
+	if len(t3.Objects()) != 3 {
+		t.Errorf("T3 objects = %d, want 3", len(t3.Objects()))
+	}
+	if t3.Lengths != nil || t3.Rates != nil {
+		t.Error("T3 should not carry T1-only objects")
+	}
+	if len(SupportedObjectNames(T1)) != 7 || len(SupportedObjectNames(T3)) != 3 {
+		t.Error("supported-object names wrong")
+	}
+	if T1.String() != "T1" || T3.String() != "T3" {
+		t.Error("backbone names wrong")
+	}
+}
+
+func TestObjectSetRecordAndReset(t *testing.T) {
+	s := NewObjectSet(T1)
+	p := tcpPkt(packet.Addr{132, 249, 1, 1}, packet.Addr{18, 1, 1, 1}, 1024, 23, 41)
+	s.Record(p, 1)
+	s.Record(p, 1)
+	if s.TotalPackets() != 2 {
+		t.Fatalf("total = %d", s.TotalPackets())
+	}
+	if s.Outbound.C.Packets != 2 {
+		t.Fatalf("outbound = %+v", s.Outbound.C)
+	}
+	s.Reset()
+	if s.TotalPackets() != 0 || len(s.Matrix.M) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(srcs, dsts []uint32, sizes []uint16) bool {
+		m := NewSrcDstMatrix()
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		for i := 0; i < n; i++ {
+			m.Record(tcpPkt(packet.AddrFrom(srcs[i]), packet.AddrFrom(dsts[i]), 1, 2, sizes[i]), 1)
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got SrcDstMatrix
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if len(got.M) != len(m.M) {
+			return false
+		}
+		for k, v := range m.M {
+			if got.M[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package bins defines the binning schemes the paper uses to discretize
+// its two characterization targets before computing chi-square-family
+// disparity metrics (Section 7.1):
+//
+//   - packet sizes (bytes): < 41, 41–180, > 180 — chosen to separate ACKs
+//     and character echoes, transaction-oriented traffic, and bulk
+//     transfer;
+//   - packet interarrival times (µs): < 800, 800–1199, 1200–2399,
+//     2400–3599, ≥ 3600 — chosen to spread the population evenly.
+//
+// A Scheme maps float64 observations to bin indices; CountPackets and
+// helpers produce the observed-count vectors the metrics package consumes.
+package bins
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Scheme assigns observations to a fixed set of bins.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// NumBins returns the number of bins, always >= 1.
+	NumBins() int
+	// Index returns the bin for x, in [0, NumBins()).
+	Index(x float64) int
+	// Label describes bin i for human-readable output.
+	Label(i int) string
+}
+
+// Edged bins observations by a sorted slice of interior edges: bin 0 is
+// (-inf, edges[0]), bin i is [edges[i-1], edges[i]), and the last bin is
+// [edges[len-1], +inf). With interior edges {41, 181} this reproduces the
+// paper's "less than 41 / 41–180 / greater than 180" packet-size ranges.
+type Edged struct {
+	name   string
+	edges  []float64
+	labels []string
+}
+
+// NewEdged builds an Edged scheme from strictly increasing interior edges.
+func NewEdged(name string, edges []float64) (*Edged, error) {
+	if len(edges) == 0 {
+		return nil, errors.New("bins: need at least one interior edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, fmt.Errorf("bins: edges not strictly increasing at %d", i)
+		}
+	}
+	e := &Edged{name: name, edges: append([]float64(nil), edges...)}
+	e.labels = make([]string, len(edges)+1)
+	e.labels[0] = fmt.Sprintf("< %g", edges[0])
+	for i := 1; i < len(edges); i++ {
+		e.labels[i] = fmt.Sprintf("[%g, %g)", edges[i-1], edges[i])
+	}
+	e.labels[len(edges)] = fmt.Sprintf(">= %g", edges[len(edges)-1])
+	return e, nil
+}
+
+// Name implements Scheme.
+func (e *Edged) Name() string { return e.name }
+
+// NumBins implements Scheme.
+func (e *Edged) NumBins() int { return len(e.edges) + 1 }
+
+// Index implements Scheme.
+func (e *Edged) Index(x float64) int {
+	// First edge strictly greater than x bounds the bin above;
+	// sort.SearchFloat64s gives the first edge >= x, so adjust for
+	// equality (edge values belong to the bin above the edge).
+	i := sort.SearchFloat64s(e.edges, x)
+	if i < len(e.edges) && e.edges[i] == x {
+		return i + 1
+	}
+	return i
+}
+
+// Label implements Scheme.
+func (e *Edged) Label(i int) string { return e.labels[i] }
+
+// Edges returns a copy of the interior edges.
+func (e *Edged) Edges() []float64 { return append([]float64(nil), e.edges...) }
+
+// PacketSize returns the paper's packet-size scheme (Section 7.1.1):
+// bytes-per-packet ranges <41, 41–180, >180.
+func PacketSize() *Edged {
+	e, err := NewEdged("paper-size", []float64{41, 181})
+	if err != nil {
+		panic(err) // static edges; cannot fail
+	}
+	return e
+}
+
+// Interarrival returns the paper's interarrival scheme (Section 7.1.2):
+// microsecond ranges <800, 800–1199, 1200–2399, 2400–3599, >=3600.
+func Interarrival() *Edged {
+	e, err := NewEdged("paper-iat", []float64{800, 1200, 2400, 3600})
+	if err != nil {
+		panic(err) // static edges; cannot fail
+	}
+	return e
+}
+
+// Count tallies the observations xs into the scheme's bins.
+func Count(s Scheme, xs []float64) []int64 {
+	counts := make([]int64, s.NumBins())
+	for _, x := range xs {
+		counts[s.Index(x)]++
+	}
+	return counts
+}
+
+// CountScaled returns Count(s, xs) scaled by factor, as float64s. The
+// paper scales sample counts up by the sampling granularity to compare
+// them against population counts (the "expected" vector).
+func CountScaled(s Scheme, xs []float64, factor float64) []float64 {
+	counts := Count(s, xs)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) * factor
+	}
+	return out
+}
+
+// Proportions returns the fraction of observations per bin; nil for empty
+// input.
+func Proportions(s Scheme, xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	counts := Count(s, xs)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / float64(len(xs))
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package bins
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netsample/internal/dist"
+)
+
+func TestNewEdgedValidation(t *testing.T) {
+	if _, err := NewEdged("x", nil); err == nil {
+		t.Error("no edges should fail")
+	}
+	if _, err := NewEdged("x", []float64{2, 2}); err == nil {
+		t.Error("tied edges should fail")
+	}
+	if _, err := NewEdged("x", []float64{3, 1}); err == nil {
+		t.Error("decreasing edges should fail")
+	}
+}
+
+func TestPacketSizeScheme(t *testing.T) {
+	s := PacketSize()
+	if s.NumBins() != 3 {
+		t.Fatalf("NumBins = %d", s.NumBins())
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{28, 0}, {40, 0}, {40.9, 0}, // ACK/echo range: < 41
+		{41, 1}, {100, 1}, {180, 1}, // transaction range: 41..180
+		{181, 2}, {552, 2}, {1500, 2}, // bulk range: > 180
+	}
+	for _, c := range cases {
+		if got := s.Index(c.x); got != c.want {
+			t.Errorf("Index(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterarrivalScheme(t *testing.T) {
+	s := Interarrival()
+	if s.NumBins() != 5 {
+		t.Fatalf("NumBins = %d", s.NumBins())
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {400, 0}, {799, 0},
+		{800, 1}, {1199, 1},
+		{1200, 2}, {2399, 2},
+		{2400, 3}, {3599, 3},
+		{3600, 4}, {49600, 4},
+	}
+	for _, c := range cases {
+		if got := s.Index(c.x); got != c.want {
+			t.Errorf("Index(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEdgedLabels(t *testing.T) {
+	s := PacketSize()
+	if s.Label(0) != "< 41" || s.Label(2) != ">= 181" {
+		t.Errorf("labels: %q %q %q", s.Label(0), s.Label(1), s.Label(2))
+	}
+	if s.Name() != "paper-size" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+func TestEdgesCopy(t *testing.T) {
+	s := PacketSize()
+	e := s.Edges()
+	e[0] = 999
+	if s.Edges()[0] == 999 {
+		t.Error("Edges returned internal slice")
+	}
+}
+
+func TestIndexAlwaysInRangeProperty(t *testing.T) {
+	schemes := []Scheme{PacketSize(), Interarrival()}
+	f := func(x float64) bool {
+		for _, s := range schemes {
+			i := s.Index(x)
+			if i < 0 || i >= s.NumBins() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountConservesTotal(t *testing.T) {
+	r := dist.NewRNG(50)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64() * 2000
+	}
+	counts := Count(PacketSize(), xs)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(len(xs)) {
+		t.Fatalf("count total %d != %d", total, len(xs))
+	}
+}
+
+func TestCountScaled(t *testing.T) {
+	xs := []float64{10, 50, 500, 600}
+	scaled := CountScaled(PacketSize(), xs, 50)
+	want := []float64{50, 50, 100}
+	for i := range want {
+		if scaled[i] != want[i] {
+			t.Fatalf("scaled = %v", scaled)
+		}
+	}
+}
+
+func TestProportions(t *testing.T) {
+	if Proportions(PacketSize(), nil) != nil {
+		t.Error("empty proportions should be nil")
+	}
+	p := Proportions(PacketSize(), []float64{40, 40, 552, 100})
+	if p[0] != 0.5 || p[1] != 0.25 || p[2] != 0.25 {
+		t.Errorf("proportions = %v", p)
+	}
+}

@@ -1,0 +1,164 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"netsample/internal/arts"
+	"netsample/internal/trace"
+)
+
+// Agent is the node-side collection server: it owns a live ObjectSet,
+// accepts Record()ed traffic from the node's forwarding path, and
+// answers NOC poll/query requests over TCP. Poll requests atomically
+// report and reset the counters, the T1/T3 operational behavior.
+type Agent struct {
+	Node string
+
+	mu  sync.Mutex
+	set *arts.ObjectSet
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// IOTimeout bounds each read/write on an agent connection.
+	IOTimeout time.Duration
+}
+
+// NewAgent creates an agent for the named node with the given object
+// profile.
+func NewAgent(node string, backbone arts.Backbone) *Agent {
+	return &Agent{
+		Node:      node,
+		set:       arts.NewObjectSet(backbone),
+		closed:    make(chan struct{}),
+		IOTimeout: 10 * time.Second,
+	}
+}
+
+// Record feeds one packet into the agent's objects. Safe for use by one
+// forwarding goroutine concurrently with poll handling.
+func (a *Agent) Record(p trace.Packet, weight uint64) {
+	a.mu.Lock()
+	a.set.Record(p, weight)
+	a.mu.Unlock()
+}
+
+// RecordTrace feeds a whole trace.
+func (a *Agent) RecordTrace(tr *trace.Trace, weight uint64) {
+	for _, p := range tr.Packets {
+		a.Record(p, weight)
+	}
+}
+
+// snapshot serializes the current objects; when reset is true the
+// counters are cleared in the same critical section, so no packet is
+// ever counted in two polls.
+func (a *Agent) snapshot(reset bool) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.set.Rates != nil {
+		a.set.Rates.Finish()
+	}
+	payload, err := encodeReport(a.Node, a.set)
+	if err != nil {
+		return nil, err
+	}
+	if reset {
+		a.set.Reset()
+	}
+	return payload, nil
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral test
+// port) and returns the bound address. Connections are handled until
+// Close.
+func (a *Agent) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a.ln = ln
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			log.Printf("collect agent %s: accept: %v", a.Node, err)
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.handle(conn)
+		}()
+	}
+}
+
+// handle serves one NOC connection; a connection may carry many
+// requests.
+func (a *Agent) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		if a.IOTimeout > 0 {
+			_ = conn.SetDeadline(time.Now().Add(a.IOTimeout))
+		}
+		msgType, _, err := readFrame(conn)
+		if err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		var payload []byte
+		var respType uint8
+		switch msgType {
+		case TypePoll:
+			payload, err = a.snapshot(true)
+			respType = TypeReport
+		case TypeQuery:
+			payload, err = a.snapshot(false)
+			respType = TypeReport
+		default:
+			payload = []byte(fmt.Sprintf("unsupported request type %d", msgType))
+			respType = TypeError
+		}
+		if err != nil {
+			payload = []byte(err.Error())
+			respType = TypeError
+		}
+		if a.IOTimeout > 0 {
+			_ = conn.SetDeadline(time.Now().Add(a.IOTimeout))
+		}
+		if err := writeFrame(conn, respType, payload); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (a *Agent) Close() error {
+	close(a.closed)
+	var err error
+	if a.ln != nil {
+		err = a.ln.Close()
+	}
+	a.wg.Wait()
+	return err
+}

@@ -1,0 +1,135 @@
+package collect
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netsample/internal/arts"
+)
+
+// Collector is the NOC-side poller: given the addresses of the backbone
+// node agents, it polls them all (concurrently, as the real collection
+// host queried nodes) and merges the reports into a backbone-wide view.
+type Collector struct {
+	// Timeout bounds each agent poll end-to-end.
+	Timeout time.Duration
+}
+
+// NewCollector returns a collector with a sensible default timeout.
+func NewCollector() *Collector { return &Collector{Timeout: 10 * time.Second} }
+
+// PollResult is the outcome of polling one agent.
+type PollResult struct {
+	Addr   string
+	Report *Report
+	Err    error
+}
+
+// Poll requests a report-and-reset from one agent.
+func (c *Collector) Poll(addr string) (*Report, error) {
+	return c.request(addr, TypePoll)
+}
+
+// Query requests a report without resetting the agent's counters.
+func (c *Collector) Query(addr string) (*Report, error) {
+	return c.request(addr, TypeQuery)
+}
+
+func (c *Collector) request(addr string, msgType uint8) (*Report, error) {
+	d := net.Dialer{Timeout: c.Timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if c.Timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	if err := writeFrame(conn, msgType, nil); err != nil {
+		return nil, fmt.Errorf("collect: send to %s: %w", addr, err)
+	}
+	respType, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("collect: response from %s: %w", addr, err)
+	}
+	switch respType {
+	case TypeReport:
+		return decodeReport(payload)
+	case TypeError:
+		return nil, fmt.Errorf("collect: agent %s: %s", addr, payload)
+	default:
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrWire, respType)
+	}
+}
+
+// PollAll polls every address concurrently and returns one result per
+// address, in the input order.
+func (c *Collector) PollAll(addrs []string) []PollResult {
+	out := make([]PollResult, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			rep, err := c.Poll(addr)
+			out[i] = PollResult{Addr: addr, Report: rep, Err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	return out
+}
+
+// BackboneView is the NOC's merged picture of one poll cycle.
+type BackboneView struct {
+	Matrix    *arts.SrcDstMatrix
+	Ports     *arts.PortDistribution
+	Protocols *arts.ProtocolDistribution
+	Nodes     []string
+	Failed    []PollResult
+}
+
+// Aggregate merges successful poll results into a backbone-wide view,
+// collecting failures separately so one unreachable node does not void
+// the cycle.
+func Aggregate(results []PollResult) (*BackboneView, error) {
+	v := &BackboneView{
+		Matrix:    arts.NewSrcDstMatrix(),
+		Ports:     arts.NewPortDistribution(),
+		Protocols: arts.NewProtocolDistribution(),
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			v.Failed = append(v.Failed, res)
+			continue
+		}
+		m, err := res.Report.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		p, err := res.Report.Ports()
+		if err != nil {
+			return nil, err
+		}
+		pr, err := res.Report.Protocols()
+		if err != nil {
+			return nil, err
+		}
+		v.Matrix.Merge(m)
+		v.Ports.Merge(p)
+		v.Protocols.Merge(pr)
+		v.Nodes = append(v.Nodes, res.Report.Node)
+	}
+	return v, nil
+}
+
+// TotalPackets sums the merged protocol distribution, the backbone-wide
+// packet total of the cycle.
+func (v *BackboneView) TotalPackets() uint64 {
+	var t uint64
+	for _, c := range v.Protocols.Protos {
+		t += c.Packets
+	}
+	return t
+}

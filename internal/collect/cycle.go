@@ -1,0 +1,44 @@
+package collect
+
+import (
+	"context"
+	"time"
+)
+
+// CycleView is one completed poll cycle with its timestamp.
+type CycleView struct {
+	At   time.Time
+	View *BackboneView
+}
+
+// RunCycles polls the given agents every interval until ctx is
+// cancelled, delivering one aggregated BackboneView per cycle on the
+// returned channel — the library form of the NOC's fifteen-minute
+// collection loop. The first cycle runs immediately. The channel is
+// closed when ctx ends; a slow consumer delays subsequent polls rather
+// than dropping cycles, preserving the report-and-reset accounting.
+func (c *Collector) RunCycles(ctx context.Context, addrs []string, interval time.Duration) <-chan CycleView {
+	out := make(chan CycleView)
+	go func() {
+		defer close(out)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			results := c.PollAll(addrs)
+			view, err := Aggregate(results)
+			if err == nil {
+				select {
+				case out <- CycleView{At: time.Now(), View: view}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,60 @@
+package collect
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netsample/internal/arts"
+)
+
+func TestRunCycles(t *testing.T) {
+	a, addr := startAgent(t, "cycle-node", arts.T3)
+	for i := 0; i < 30; i++ {
+		a.Record(samplePacket(i), 1)
+	}
+	c := NewCollector()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := c.RunCycles(ctx, []string{addr}, 50*time.Millisecond)
+
+	// First cycle carries the 30 packets.
+	first := <-ch
+	if first.View.TotalPackets() != 30 {
+		t.Fatalf("first cycle total = %d", first.View.TotalPackets())
+	}
+	// Record more between cycles; the next cycle sees only the delta
+	// (poll-and-reset semantics).
+	for i := 0; i < 7; i++ {
+		a.Record(samplePacket(i), 1)
+	}
+	second := <-ch
+	if second.View.TotalPackets() != 7 {
+		t.Fatalf("second cycle total = %d", second.View.TotalPackets())
+	}
+	if !second.At.After(first.At) {
+		t.Fatal("cycle timestamps not increasing")
+	}
+	cancel()
+	// Channel closes after cancellation.
+	for range ch {
+	}
+}
+
+func TestRunCyclesSurvivesDeadAgent(t *testing.T) {
+	c := NewCollector()
+	c.Timeout = 200 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ch := c.RunCycles(ctx, []string{"127.0.0.1:1"}, 100*time.Millisecond)
+	v, ok := <-ch
+	if !ok {
+		t.Fatal("channel closed before first cycle")
+	}
+	if len(v.View.Failed) != 1 || len(v.View.Nodes) != 0 {
+		t.Fatalf("dead-agent cycle: %+v", v.View)
+	}
+	cancel()
+	for range ch {
+	}
+}

@@ -1,0 +1,46 @@
+package collect
+
+import (
+	"bytes"
+	"testing"
+
+	"netsample/internal/arts"
+)
+
+// FuzzDecodeReport: arbitrary payloads must never panic the report
+// decoder.
+func FuzzDecodeReport(f *testing.F) {
+	set := arts.NewObjectSet(arts.T1)
+	set.Record(samplePacket(1), 1)
+	valid, err := encodeReport("node", set)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeReport(data)
+		if err == nil {
+			// A decoded report's objects must themselves decode or
+			// error cleanly.
+			_, _ = rep.Matrix()
+			_, _ = rep.Ports()
+			_, _ = rep.Protocols()
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary streams must never panic the frame reader.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, TypePoll, []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0x53, 0x4e, 1, 1, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = readFrame(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,229 @@
+// Package collect implements the backbone-wide centralized statistics
+// collection of Section 2: every (scaled) poll interval the central
+// agent at the NOC connects to each backbone node, which reports and
+// then resets its object counters. The node side is Agent, a TCP server
+// wrapping a live arts.ObjectSet; the NOC side is Collector, which polls
+// many agents concurrently and merges their reports into a
+// backbone-wide view.
+//
+// Wire protocol (all integers little-endian):
+//
+//	frame:   magic uint16 = 0x4E53 ("NS"), version uint8 = 1,
+//	         type uint8, payloadLen uint32, payload.
+//	types:   1 = poll request (report + reset), 2 = query request
+//	         (report only), 3 = report response, 4 = error response.
+//	report:  nodeName (uint16 len + bytes), backbone uint8,
+//	         objectCount uint16, then per object:
+//	         name (uint16 len + bytes), dataLen uint32, data.
+//
+// Payloads are bounded (MaxPayload) so a corrupt or malicious length
+// field cannot exhaust memory.
+package collect
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"netsample/internal/arts"
+)
+
+// Protocol constants.
+const (
+	wireMagic    = 0x4E53
+	wireVersion  = 1
+	frameHeader  = 8
+	MaxPayload   = 64 << 20 // 64 MiB bounds a full src-dst matrix report
+	maxNameLen   = 256
+	maxObjects   = 64
+	maxObjectLen = MaxPayload
+)
+
+// Message types.
+const (
+	TypePoll   uint8 = 1
+	TypeQuery  uint8 = 2
+	TypeReport uint8 = 3
+	TypeError  uint8 = 4
+)
+
+// ErrWire reports a malformed frame or report.
+var ErrWire = errors.New("collect: malformed wire data")
+
+// writeFrame sends one frame.
+func writeFrame(w io.Writer, msgType uint8, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d exceeds limit", ErrWire, len(payload))
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint16(hdr[0:], wireMagic)
+	hdr[2] = wireVersion
+	hdr[3] = msgType
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one frame, enforcing the payload bound.
+func readFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != wireMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrWire)
+	}
+	if hdr[2] != wireVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrWire, hdr[2])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: payload %d exceeds limit", ErrWire, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrWire, err)
+	}
+	return hdr[3], payload, nil
+}
+
+// Report is one node's poll response, decoded.
+type Report struct {
+	Node     string
+	Backbone arts.Backbone
+	Objects  map[string][]byte // object name → serialized counters
+}
+
+// encodeReport serializes a report from a node's object set.
+func encodeReport(node string, set *arts.ObjectSet) ([]byte, error) {
+	if len(node) > maxNameLen {
+		return nil, fmt.Errorf("%w: node name too long", ErrWire)
+	}
+	objs := set.Objects()
+	if len(objs) > maxObjects {
+		return nil, fmt.Errorf("%w: too many objects", ErrWire)
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(node)))
+	buf = append(buf, node...)
+	buf = append(buf, byte(set.Backbone))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(objs)))
+	for _, o := range objs {
+		data, err := o.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		name := o.Name()
+		if len(name) > maxNameLen {
+			return nil, fmt.Errorf("%w: object name too long", ErrWire)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+		buf = append(buf, data...)
+	}
+	return buf, nil
+}
+
+// decodeReport parses a report payload.
+func decodeReport(payload []byte) (*Report, error) {
+	r := &Report{Objects: make(map[string][]byte)}
+	off := 0
+	name, off, err := readString(payload, off)
+	if err != nil {
+		return nil, err
+	}
+	r.Node = name
+	if off >= len(payload) {
+		return nil, fmt.Errorf("%w: missing backbone", ErrWire)
+	}
+	r.Backbone = arts.Backbone(payload[off])
+	off++
+	if off+2 > len(payload) {
+		return nil, fmt.Errorf("%w: missing object count", ErrWire)
+	}
+	count := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	if count > maxObjects {
+		return nil, fmt.Errorf("%w: object count %d exceeds limit", ErrWire, count)
+	}
+	for i := 0; i < count; i++ {
+		var objName string
+		objName, off, err = readString(payload, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(payload) {
+			return nil, fmt.Errorf("%w: missing object length", ErrWire)
+		}
+		n := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if n < 0 || off+n > len(payload) {
+			return nil, fmt.Errorf("%w: object %q overruns payload", ErrWire, objName)
+		}
+		r.Objects[objName] = append([]byte(nil), payload[off:off+n]...)
+		off += n
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWire, len(payload)-off)
+	}
+	return r, nil
+}
+
+// readString reads a uint16-length-prefixed string.
+func readString(b []byte, off int) (string, int, error) {
+	if off+2 > len(b) {
+		return "", 0, fmt.Errorf("%w: missing string length", ErrWire)
+	}
+	n := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if n > maxNameLen || off+n > len(b) {
+		return "", 0, fmt.Errorf("%w: string overruns payload", ErrWire)
+	}
+	return string(b[off : off+n]), off + n, nil
+}
+
+// Matrix returns the report's decoded source-destination matrix, if
+// present.
+func (r *Report) Matrix() (*arts.SrcDstMatrix, error) {
+	data, ok := r.Objects["src-dst-matrix"]
+	if !ok {
+		return nil, fmt.Errorf("%w: report has no src-dst-matrix", ErrWire)
+	}
+	m := arts.NewSrcDstMatrix()
+	if err := m.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Ports returns the report's decoded port distribution, if present.
+func (r *Report) Ports() (*arts.PortDistribution, error) {
+	data, ok := r.Objects["port-distribution"]
+	if !ok {
+		return nil, fmt.Errorf("%w: report has no port-distribution", ErrWire)
+	}
+	d := arts.NewPortDistribution()
+	if err := d.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Protocols returns the report's decoded protocol distribution, if
+// present.
+func (r *Report) Protocols() (*arts.ProtocolDistribution, error) {
+	data, ok := r.Objects["protocol-distribution"]
+	if !ok {
+		return nil, fmt.Errorf("%w: report has no protocol-distribution", ErrWire)
+	}
+	d := arts.NewProtocolDistribution()
+	if err := d.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netsample/internal/dist"
+	"netsample/internal/metrics"
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+)
+
+// This file implements the extension the paper's conclusion sketches:
+// "Our methodology can be extended and applied to characterizations of
+// network traffic that are based on proportions, e.g., TCP/UDP port
+// distribution. More difficult would be to characterize the goodness of
+// fit of the sampled source-destination traffic matrix, mainly because
+// of its large size and because many traffic pairs generate small
+// amounts of traffic during typical sampling intervals."
+//
+// A Categorizer maps packets to discrete categories; the
+// CategoricalEvaluator scores a sample's category proportions against
+// the population's with the same χ²/φ machinery as the binned targets.
+// Cells whose expected count under the sample would fall below a
+// threshold are folded into a rest category, the standard remedy for the
+// sparse-cell problem the paper anticipates for the traffic matrix.
+
+// Categorizer assigns packets to discrete categories. ok=false excludes
+// the packet from the characterization (e.g. non-TCP/UDP packets from a
+// port distribution).
+type Categorizer interface {
+	// Name identifies the characterization in output.
+	Name() string
+	// Category returns the packet's category key.
+	Category(p trace.Packet) (key string, ok bool)
+}
+
+// PortCategorizer maps TCP/UDP packets to the well-known service of
+// their destination (or source) port, with everything else as "other".
+type PortCategorizer struct{}
+
+// Name implements Categorizer.
+func (PortCategorizer) Name() string { return "port-distribution" }
+
+// Category implements Categorizer.
+func (PortCategorizer) Category(p trace.Packet) (string, bool) {
+	if p.Protocol != packet.ProtoTCP && p.Protocol != packet.ProtoUDP {
+		return "", false
+	}
+	if name := packet.PortName(p.DstPort); name != "other" {
+		return name, true
+	}
+	return packet.PortName(p.SrcPort), true
+}
+
+// ProtocolCategorizer maps packets to their IP protocol.
+type ProtocolCategorizer struct{}
+
+// Name implements Categorizer.
+func (ProtocolCategorizer) Name() string { return "protocol-distribution" }
+
+// Category implements Categorizer.
+func (ProtocolCategorizer) Category(p trace.Packet) (string, bool) {
+	return p.Protocol.String(), true
+}
+
+// NetPairCategorizer maps packets to their classful source→destination
+// network pair — the traffic matrix characterization.
+type NetPairCategorizer struct{}
+
+// Name implements Categorizer.
+func (NetPairCategorizer) Name() string { return "src-dst-matrix" }
+
+// Category implements Categorizer.
+func (NetPairCategorizer) Category(p trace.Packet) (string, bool) {
+	return p.Src.NetworkNumber().String() + ">" + p.Dst.NetworkNumber().String(), true
+}
+
+// RestCategory is the fold target for sparse cells.
+const RestCategory = "(rest)"
+
+// CategoricalEvaluator scores samples on a discrete characterization.
+type CategoricalEvaluator struct {
+	pop        *trace.Trace
+	cat        Categorizer
+	categories []string       // folded category list, sorted, (rest) last if present
+	index      map[string]int // category → position
+	popCounts  []float64
+	popTotal   float64
+	popExcl    int // population packets excluded by the categorizer
+}
+
+// ErrNoCategories reports a population with no categorizable packets.
+var ErrNoCategories = errors.New("core: population has no categorizable packets")
+
+// NewCategoricalEvaluator analyzes the population. Categories whose
+// population share is below minShare (e.g. 0.001) are folded into
+// RestCategory; pass 0 to keep every cell.
+func NewCategoricalEvaluator(pop *trace.Trace, cat Categorizer, minShare float64) (*CategoricalEvaluator, error) {
+	if minShare < 0 || minShare >= 1 {
+		return nil, fmt.Errorf("core: minShare %v outside [0,1)", minShare)
+	}
+	raw := make(map[string]float64)
+	var total float64
+	excl := 0
+	for _, p := range pop.Packets {
+		key, ok := cat.Category(p)
+		if !ok {
+			excl++
+			continue
+		}
+		raw[key]++
+		total++
+	}
+	if total == 0 {
+		return nil, ErrNoCategories
+	}
+	e := &CategoricalEvaluator{pop: pop, cat: cat, index: map[string]int{}, popTotal: total, popExcl: excl}
+	var rest float64
+	var keep []string
+	for key, c := range raw {
+		if c/total < minShare {
+			rest += c
+		} else {
+			keep = append(keep, key)
+		}
+	}
+	sort.Strings(keep)
+	for _, key := range keep {
+		e.index[key] = len(e.categories)
+		e.categories = append(e.categories, key)
+		e.popCounts = append(e.popCounts, raw[key])
+	}
+	if rest > 0 {
+		e.index[RestCategory] = len(e.categories)
+		e.categories = append(e.categories, RestCategory)
+		e.popCounts = append(e.popCounts, rest)
+	}
+	if len(e.categories) < 2 {
+		return nil, fmt.Errorf("%w: fewer than two categories after folding", ErrNoCategories)
+	}
+	return e, nil
+}
+
+// Categories returns the folded category keys in score order.
+func (e *CategoricalEvaluator) Categories() []string {
+	return append([]string(nil), e.categories...)
+}
+
+// NumCells returns the number of scored cells (after folding).
+func (e *CategoricalEvaluator) NumCells() int { return len(e.categories) }
+
+// PopulationProportions returns each category's population share.
+func (e *CategoricalEvaluator) PopulationProportions() []float64 {
+	out := make([]float64, len(e.popCounts))
+	for i, c := range e.popCounts {
+		out[i] = c / e.popTotal
+	}
+	return out
+}
+
+// Score computes the metric report of a sample (indices into the
+// population trace) for this characterization.
+func (e *CategoricalEvaluator) Score(indices []int) (metrics.Report, error) {
+	observed := make([]float64, len(e.categories))
+	var n float64
+	for _, idx := range indices {
+		key, ok := e.cat.Category(e.pop.Packets[idx])
+		if !ok {
+			continue
+		}
+		pos, ok := e.index[key]
+		if !ok {
+			pos = e.index[RestCategory]
+		}
+		observed[pos]++
+		n++
+	}
+	if n == 0 {
+		return metrics.Report{}, errors.New("core: sample has no categorizable packets")
+	}
+	expected := make([]float64, len(e.categories))
+	scaledUp := make([]float64, len(e.categories))
+	scale := e.popTotal / n
+	for i := range e.categories {
+		expected[i] = n * e.popCounts[i] / e.popTotal
+		scaledUp[i] = observed[i] * scale
+	}
+	fraction := n / e.popTotal
+	if fraction > 1 {
+		fraction = 1
+	}
+	var rep metrics.Report
+	var err error
+	if rep.ChiSquare, err = metrics.ChiSquare(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.Significance, err = metrics.Significance(observed, expected, 0); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.Cost, err = metrics.Cost(scaledUp, e.popCounts); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.RelativeCost, err = metrics.RelativeCost(scaledUp, e.popCounts, fraction); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.PaxsonX2, err = metrics.PaxsonX2(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.AvgNormDev, err = metrics.AvgNormDeviation(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.Phi, err = metrics.Phi(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	return rep, nil
+}
+
+// Phi returns only the φ score of a sample.
+func (e *CategoricalEvaluator) Phi(indices []int) (float64, error) {
+	rep, err := e.Score(indices)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Phi, nil
+}
+
+// ReplicateCategorical runs a sampler n times against a categorical
+// evaluator, mirroring Replicate for the binned targets.
+func ReplicateCategorical(e *CategoricalEvaluator, s Sampler, n int, r *dist.RNG) ([]Replication, error) {
+	out := make([]Replication, 0, n)
+	for i := 0; i < n; i++ {
+		idx, err := s.Select(e.pop, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		rep, err := e.Score(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Replication{SampleSize: len(idx), Report: rep})
+	}
+	return out, nil
+}

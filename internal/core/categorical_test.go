@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"netsample/internal/dist"
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func TestPortCategorizer(t *testing.T) {
+	var c PortCategorizer
+	if _, ok := c.Category(trace.Packet{Protocol: packet.ProtoICMP}); ok {
+		t.Error("ICMP should be excluded")
+	}
+	key, ok := c.Category(trace.Packet{Protocol: packet.ProtoTCP, SrcPort: 1024, DstPort: packet.PortTelnet})
+	if !ok || key != "telnet" {
+		t.Errorf("dst well-known: %q %v", key, ok)
+	}
+	key, ok = c.Category(trace.Packet{Protocol: packet.ProtoTCP, SrcPort: packet.PortNNTP, DstPort: 2044})
+	if !ok || key != "nntp" {
+		t.Errorf("src well-known: %q %v", key, ok)
+	}
+	key, ok = c.Category(trace.Packet{Protocol: packet.ProtoUDP, SrcPort: 5000, DstPort: 6000})
+	if !ok || key != "other" {
+		t.Errorf("ephemeral: %q %v", key, ok)
+	}
+}
+
+func TestProtocolCategorizer(t *testing.T) {
+	var c ProtocolCategorizer
+	key, ok := c.Category(trace.Packet{Protocol: packet.ProtoTCP})
+	if !ok || key != "TCP" {
+		t.Errorf("key = %q", key)
+	}
+}
+
+func TestNetPairCategorizer(t *testing.T) {
+	var c NetPairCategorizer
+	key, ok := c.Category(trace.Packet{
+		Src: packet.Addr{132, 249, 5, 5}, Dst: packet.Addr{18, 3, 4, 5}})
+	if !ok || key != "132.249.0.0>18.0.0.0" {
+		t.Errorf("key = %q", key)
+	}
+}
+
+func TestNewCategoricalEvaluatorValidation(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCategoricalEvaluator(tr, PortCategorizer{}, -0.1); err == nil {
+		t.Error("negative minShare accepted")
+	}
+	if _, err := NewCategoricalEvaluator(tr, PortCategorizer{}, 1); err == nil {
+		t.Error("minShare 1 accepted")
+	}
+	// A population with no categorizable packets.
+	icmpOnly := &trace.Trace{Packets: []trace.Packet{
+		{Protocol: packet.ProtoICMP}, {Protocol: packet.ProtoICMP},
+	}}
+	if _, err := NewCategoricalEvaluator(icmpOnly, PortCategorizer{}, 0); !errors.Is(err, ErrNoCategories) {
+		t.Errorf("uncategorizable accepted: %v", err)
+	}
+	// A single-category population folds to < 2 cells.
+	oneCat := &trace.Trace{Packets: []trace.Packet{
+		{Protocol: packet.ProtoTCP, DstPort: packet.PortTelnet},
+		{Protocol: packet.ProtoTCP, DstPort: packet.PortTelnet},
+	}}
+	if _, err := NewCategoricalEvaluator(oneCat, PortCategorizer{}, 0); !errors.Is(err, ErrNoCategories) {
+		t.Errorf("single category accepted: %v", err)
+	}
+}
+
+func TestCategoricalPhiZeroForFullSample(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []Categorizer{PortCategorizer{}, ProtocolCategorizer{}, NetPairCategorizer{}} {
+		ev, err := NewCategoricalEvaluator(tr, cat, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Name(), err)
+		}
+		all := make([]int, tr.Len())
+		for i := range all {
+			all[i] = i
+		}
+		phi, err := ev.Phi(all)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Name(), err)
+		}
+		if phi > 1e-12 {
+			t.Errorf("%s: full-sample phi = %v", cat.Name(), phi)
+		}
+	}
+}
+
+func TestCategoricalProportionsSumToOne(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewCategoricalEvaluator(tr, PortCategorizer{}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range ev.PopulationProportions() {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("proportions sum = %v", sum)
+	}
+}
+
+func TestCategoricalFolding(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfolded, err := NewCategoricalEvaluator(tr, NetPairCategorizer{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := NewCategoricalEvaluator(tr, NetPairCategorizer{}, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.NumCells() >= unfolded.NumCells() {
+		t.Fatalf("folding did not reduce cells: %d vs %d", folded.NumCells(), unfolded.NumCells())
+	}
+	cats := folded.Categories()
+	if cats[len(cats)-1] != RestCategory {
+		t.Fatalf("rest category missing: %v", cats[len(cats)-3:])
+	}
+}
+
+func TestCategoricalMatrixHarderThanPorts(t *testing.T) {
+	// The paper's anticipated result: the sparse traffic matrix samples
+	// far worse than the coarse port distribution at equal fractions.
+	tr, err := traffgen.Generate(traffgen.SmallTrace(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports, err := NewCategoricalEvaluator(tr, PortCategorizer{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := NewCategoricalEvaluator(tr, NetPairCategorizer{}, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dist.NewRNG(3)
+	const k = 256
+	pReps, err := ReplicateCategorical(ports, StratifiedCount{K: k}, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mReps, err := ReplicateCategorical(matrix, StratifiedCount{K: k}, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(MeanPhi(mReps) > MeanPhi(pReps)) {
+		t.Fatalf("matrix phi %v not worse than ports phi %v",
+			MeanPhi(mReps), MeanPhi(pReps))
+	}
+}
+
+func TestCategoricalScoreEmptySample(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewCategoricalEvaluator(tr, PortCategorizer{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Score(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	// A sample of only uncategorizable packets.
+	var icmpIdx []int
+	for i, p := range tr.Packets {
+		if p.Protocol == packet.ProtoICMP {
+			icmpIdx = append(icmpIdx, i)
+			if len(icmpIdx) == 10 {
+				break
+			}
+		}
+	}
+	if len(icmpIdx) > 0 {
+		if _, err := ev.Score(icmpIdx); err == nil {
+			t.Error("uncategorizable sample accepted")
+		}
+	}
+}
+
+func TestReplicateCategoricalPropagatesError(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewCategoricalEvaluator(tr, PortCategorizer{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplicateCategorical(ev, SystematicCount{K: 0}, 2, dist.NewRNG(1)); err == nil {
+		t.Error("bad sampler accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"netsample/internal/bins"
+	"netsample/internal/dist"
+	"netsample/internal/metrics"
+	"netsample/internal/trace"
+)
+
+// Evaluator scores samples of one trace window against the window's full
+// population for one target distribution, using one binning scheme. It
+// precomputes the population's bin proportions so that scoring a sample
+// is O(sample size).
+//
+// Scoring follows the paper's goodness-of-fit orientation: the expected
+// count in bin i is n·pᵢ, where n is the sample size and pᵢ the known
+// parent-population proportion (no fitted parameters, so the χ² test has
+// B-1 degrees of freedom). The cost and relative-cost metrics are instead
+// computed on population scale — sample counts scaled up by N/n against
+// the population counts — because they model absolute packet-count
+// discrepancies (the charging example of Section 5.2).
+type Evaluator struct {
+	pop       *trace.Trace
+	target    Target
+	scheme    bins.Scheme
+	popCounts []float64 // population count per bin
+	popProps  []float64 // population proportion per bin
+	popTotal  float64
+}
+
+// ErrDegenerate reports a population whose observations all fall in bins
+// with zero expected proportion, making χ²-family metrics undefined.
+var ErrDegenerate = errors.New("core: population has empty bins; metrics undefined")
+
+// NewEvaluator analyzes the population once and returns a ready scorer.
+func NewEvaluator(pop *trace.Trace, target Target, scheme bins.Scheme) (*Evaluator, error) {
+	obs := PopulationObservations(pop, target)
+	if len(obs) == 0 {
+		return nil, ErrEmptyPopulation
+	}
+	counts := bins.Count(scheme, obs)
+	e := &Evaluator{
+		pop:       pop,
+		target:    target,
+		scheme:    scheme,
+		popCounts: make([]float64, len(counts)),
+		popProps:  make([]float64, len(counts)),
+	}
+	for i, c := range counts {
+		e.popCounts[i] = float64(c)
+		e.popTotal += float64(c)
+	}
+	for i := range e.popProps {
+		if e.popCounts[i] == 0 {
+			// A bin the population never hits cannot anchor a χ² term;
+			// the paper's bins are chosen to avoid this. Reject so the
+			// caller picks a proper scheme for this population.
+			return nil, fmt.Errorf("%w: bin %d (%s)", ErrDegenerate, i, scheme.Label(i))
+		}
+		e.popProps[i] = e.popCounts[i] / e.popTotal
+	}
+	return e, nil
+}
+
+// Population returns the trace the evaluator was built over.
+func (e *Evaluator) Population() *trace.Trace { return e.pop }
+
+// Target returns the evaluator's target distribution.
+func (e *Evaluator) Target() Target { return e.target }
+
+// PopulationProportions returns the population's per-bin proportions.
+func (e *Evaluator) PopulationProportions() []float64 {
+	return append([]float64(nil), e.popProps...)
+}
+
+// Score computes the full metric report for a sample given as indices
+// into the evaluator's population trace.
+func (e *Evaluator) Score(indices []int) (metrics.Report, error) {
+	obs := Observations(e.pop, e.target, indices)
+	if len(obs) == 0 {
+		return metrics.Report{}, errors.New("core: empty sample")
+	}
+	counts := bins.Count(e.scheme, obs)
+	n := float64(len(obs))
+	observed := make([]float64, len(counts))
+	expected := make([]float64, len(counts))
+	scaledUp := make([]float64, len(counts))
+	scale := e.popTotal / n
+	for i, c := range counts {
+		observed[i] = float64(c)
+		expected[i] = n * e.popProps[i]
+		scaledUp[i] = float64(c) * scale
+	}
+	fraction := n / e.popTotal
+	if fraction > 1 {
+		fraction = 1
+	}
+	var rep metrics.Report
+	var err error
+	if rep.ChiSquare, err = metrics.ChiSquare(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.Significance, err = metrics.Significance(observed, expected, 0); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.Cost, err = metrics.Cost(scaledUp, e.popCounts); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.RelativeCost, err = metrics.RelativeCost(scaledUp, e.popCounts, fraction); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.PaxsonX2, err = metrics.PaxsonX2(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.AvgNormDev, err = metrics.AvgNormDeviation(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	if rep.Phi, err = metrics.Phi(observed, expected); err != nil {
+		return metrics.Report{}, err
+	}
+	return rep, nil
+}
+
+// Phi is a convenience returning only the φ score of a sample.
+func (e *Evaluator) Phi(indices []int) (float64, error) {
+	rep, err := e.Score(indices)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Phi, nil
+}
+
+// Replication is one scored sample within a replication set.
+type Replication struct {
+	SampleSize int
+	Report     metrics.Report
+}
+
+// Replicate runs a sampler n times with independent randomness (for
+// random methods) and returns the scored replications. Deterministic
+// methods produce identical replications unless the caller varies their
+// parameters (see SystematicOffsets).
+func Replicate(e *Evaluator, s Sampler, n int, r *dist.RNG) ([]Replication, error) {
+	out := make([]Replication, 0, n)
+	for i := 0; i < n; i++ {
+		idx, err := s.Select(e.pop, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		rep, err := e.Score(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Replication{SampleSize: len(idx), Report: rep})
+	}
+	return out, nil
+}
+
+// SystematicOffsets scores systematic count-driven samples at `count`
+// distinct start offsets spread evenly over [0, k), reproducing the
+// paper's technique of varying the point at which sampling begins. It
+// returns one replication per offset.
+func SystematicOffsets(e *Evaluator, k, count int, r *dist.RNG) ([]Replication, error) {
+	if k < 1 {
+		return nil, ErrBadGranularity
+	}
+	if count > k {
+		count = k
+	}
+	out := make([]Replication, 0, count)
+	for i := 0; i < count; i++ {
+		offset := i * k / count
+		idx, err := SystematicCount{K: k, Offset: offset}.Select(e.pop, r)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := e.Score(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Replication{SampleSize: len(idx), Report: rep})
+	}
+	return out, nil
+}
+
+// PhiValues extracts the φ scores of a replication set.
+func PhiValues(reps []Replication) []float64 {
+	out := make([]float64, len(reps))
+	for i, rep := range reps {
+		out[i] = rep.Report.Phi
+	}
+	return out
+}
+
+// MeanPhi returns the mean φ of a replication set, the y-axis of the
+// paper's Figures 7-11.
+func MeanPhi(reps []Replication) float64 {
+	if len(reps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rep := range reps {
+		sum += rep.Report.Phi
+	}
+	return sum / float64(len(reps))
+}

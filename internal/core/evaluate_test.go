@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"netsample/internal/bins"
+	"netsample/internal/dist"
+	"netsample/internal/metrics"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+// genTrace returns a small calibrated synthetic trace for evaluator tests.
+func genTrace(t *testing.T, seed uint64) *trace.Trace {
+	t.Helper()
+	tr, err := traffgen.Generate(traffgen.SmallTrace(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewEvaluatorRejectsEmpty(t *testing.T) {
+	if _, err := NewEvaluator(&trace.Trace{}, TargetSize, bins.PacketSize()); !errors.Is(err, ErrEmptyPopulation) {
+		t.Fatal("empty population accepted")
+	}
+}
+
+func TestNewEvaluatorRejectsDegenerateBins(t *testing.T) {
+	// All packets size 40: the upper bins are empty.
+	tr := uniformTrace(100, 400)
+	for i := range tr.Packets {
+		tr.Packets[i].Size = 40
+	}
+	if _, err := NewEvaluator(tr, TargetSize, bins.PacketSize()); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("degenerate population accepted: %v", err)
+	}
+}
+
+func TestPhiZeroForFullSample(t *testing.T) {
+	tr := genTrace(t, 11)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, tr.Len())
+	for i := range all {
+		all[i] = i
+	}
+	phi, err := ev.Phi(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi > 1e-12 {
+		t.Fatalf("phi of full sample = %v, want 0", phi)
+	}
+}
+
+func TestPhiZeroForFullSampleInterarrival(t *testing.T) {
+	tr := genTrace(t, 12)
+	ev, err := NewEvaluator(tr, TargetInterarrival, bins.Interarrival())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, tr.Len())
+	for i := range all {
+		all[i] = i
+	}
+	phi, err := ev.Phi(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi > 1e-12 {
+		t.Fatalf("phi of full sample = %v, want 0", phi)
+	}
+}
+
+func TestScoreEmptySample(t *testing.T) {
+	tr := genTrace(t, 13)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Score(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestScoreReasonableSample(t *testing.T) {
+	tr := genTrace(t, 14)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := SystematicCount{K: 50}.Select(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ev.Score(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phi < 0 || rep.Phi > 0.5 {
+		t.Errorf("phi = %v, expected a small value for 1-in-50 systematic", rep.Phi)
+	}
+	if rep.Significance < 0 || rep.Significance > 1 {
+		t.Errorf("significance = %v", rep.Significance)
+	}
+	if rep.Cost < 0 {
+		t.Errorf("cost = %v", rep.Cost)
+	}
+	if rep.RelativeCost >= rep.Cost {
+		t.Errorf("rcost %v should be below cost %v at fraction 1/50", rep.RelativeCost, rep.Cost)
+	}
+}
+
+func TestPhiGrowsWithGranularity(t *testing.T) {
+	// The paper's central single-method trend (Figures 6-7): coarser
+	// sampling gives poorer snapshots. Averaged over offsets to damp
+	// noise.
+	tr := genTrace(t, 15)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dist.NewRNG(99)
+	meanPhiAt := func(k int) float64 {
+		reps, err := SystematicOffsets(ev, k, 5, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MeanPhi(reps)
+	}
+	fine := meanPhiAt(4)
+	coarse := meanPhiAt(2048)
+	if !(coarse > fine) {
+		t.Fatalf("phi(2048)=%v not greater than phi(4)=%v", coarse, fine)
+	}
+}
+
+func TestReplicateRandomMethodsVary(t *testing.T) {
+	tr := genTrace(t, 16)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dist.NewRNG(5)
+	reps, err := Replicate(ev, StratifiedCount{K: 256}, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 5 {
+		t.Fatalf("replications = %d", len(reps))
+	}
+	distinct := false
+	for i := 1; i < len(reps); i++ {
+		if reps[i].Report.Phi != reps[0].Report.Phi {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("random replications all identical")
+	}
+}
+
+func TestReplicatePropagatesError(t *testing.T) {
+	tr := genTrace(t, 17)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replicate(ev, SystematicCount{K: 0}, 2, dist.NewRNG(1)); err == nil {
+		t.Fatal("bad sampler accepted")
+	}
+}
+
+func TestSystematicOffsetsDistinct(t *testing.T) {
+	tr := genTrace(t, 18)
+	ev, err := NewEvaluator(tr, TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := SystematicOffsets(ev, 50, 10, dist.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 10 {
+		t.Fatalf("replications = %d", len(reps))
+	}
+	// Offsets spread over [0,50): samples differ, so scores should not
+	// be all identical.
+	allSame := true
+	for i := 1; i < len(reps); i++ {
+		if reps[i].Report.Phi != reps[0].Report.Phi {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("offset replications identical")
+	}
+	// Requesting more offsets than K clamps to K.
+	reps, err = SystematicOffsets(ev, 3, 10, dist.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("clamped replications = %d", len(reps))
+	}
+}
+
+func TestPhiValuesAndMeanPhi(t *testing.T) {
+	reps := []Replication{
+		{Report: reportWithPhi(0.1)},
+		{Report: reportWithPhi(0.3)},
+	}
+	vals := PhiValues(reps)
+	if len(vals) != 2 || vals[0] != 0.1 || vals[1] != 0.3 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if m := MeanPhi(reps); math.Abs(m-0.2) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	if MeanPhi(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestEvaluatorAccessors(t *testing.T) {
+	tr := genTrace(t, 19)
+	ev, err := NewEvaluator(tr, TargetInterarrival, bins.Interarrival())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Population() != tr || ev.Target() != TargetInterarrival {
+		t.Fatal("accessors wrong")
+	}
+	props := ev.PopulationProportions()
+	var sum float64
+	for _, p := range props {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("proportions sum = %v", sum)
+	}
+	props[0] = 99
+	if ev.PopulationProportions()[0] == 99 {
+		t.Fatal("proportions alias internal state")
+	}
+}
+
+func TestTimerWorseThanPacketForInterarrival(t *testing.T) {
+	// The paper's headline: timer-driven methods skew the interarrival
+	// distribution toward large values because they miss bursts.
+	tr := genTrace(t, 20)
+	ev, err := NewEvaluator(tr, TargetInterarrival, bins.Interarrival())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dist.NewRNG(30)
+	const k = 64
+	packetReps, err := Replicate(ev, StratifiedCount{K: k}, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewSystematicTimer(tr, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timerReps, err := Replicate(ev, st, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(MeanPhi(timerReps) > MeanPhi(packetReps)) {
+		t.Fatalf("timer phi %v not worse than packet phi %v",
+			MeanPhi(timerReps), MeanPhi(packetReps))
+	}
+}
+
+func reportWithPhi(phi float64) (r metrics.Report) {
+	r.Phi = phi
+	return
+}

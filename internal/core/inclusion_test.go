@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netsample/internal/dist"
+)
+
+// Inclusion-probability tests: the design property underlying all the
+// paper's scale-up arithmetic is that every packet is selected with
+// probability 1/k (exactly for stratified full buckets and simple
+// random, on average over phases for systematic). Violations would bias
+// every scaled count in the study.
+
+// inclusionCounts tallies per-index selection frequency over many
+// replications.
+func inclusionCounts(t *testing.T, n, k, reps int, sel func(rep int) []int) []float64 {
+	t.Helper()
+	counts := make([]float64, n)
+	for rep := 0; rep < reps; rep++ {
+		for _, i := range sel(rep) {
+			if i < 0 || i >= n {
+				t.Fatalf("index %d out of range", i)
+			}
+			counts[i]++
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(reps)
+	}
+	return counts
+}
+
+func assertUniformInclusion(t *testing.T, probs []float64, want, tol float64) {
+	t.Helper()
+	var worst float64
+	for _, p := range probs {
+		if d := math.Abs(p - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > tol {
+		t.Fatalf("worst inclusion deviation %v (want %v ± %v)", worst, want, tol)
+	}
+}
+
+func TestStratifiedInclusionUniform(t *testing.T) {
+	const n, k, reps = 400, 8, 20000
+	tr := uniformTrace(n, 400)
+	r := dist.NewRNG(300)
+	probs := inclusionCounts(t, n, k, reps, func(int) []int {
+		idx, err := StratifiedCount{K: k}.Select(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	})
+	// Exact design probability 1/8; binomial noise at 20k reps ≈ 0.0023.
+	assertUniformInclusion(t, probs, 1.0/k, 0.012)
+}
+
+func TestSimpleRandomInclusionUniform(t *testing.T) {
+	const n, k, reps = 400, 8, 20000
+	tr := uniformTrace(n, 400)
+	r := dist.NewRNG(301)
+	probs := inclusionCounts(t, n, k, reps, func(int) []int {
+		idx, err := SimpleRandom{K: k}.Select(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	})
+	assertUniformInclusion(t, probs, 1.0/k, 0.012)
+}
+
+func TestSystematicInclusionUniformOverPhases(t *testing.T) {
+	// Averaged over all k phases, systematic includes every packet
+	// exactly once: probability 1/k with zero variance.
+	const n, k = 400, 8
+	tr := uniformTrace(n, 400)
+	counts := make([]float64, n)
+	for off := 0; off < k; off++ {
+		idx, err := SystematicCount{K: k, Offset: off}.Select(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range idx {
+			counts[i]++
+		}
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("packet %d selected %v times across all phases, want exactly 1", i, c)
+		}
+	}
+}
+
+func TestReservoirMatchesDesignFraction(t *testing.T) {
+	// Cross-check: the expected sample size of every packet-driven
+	// method at granularity k equals ceil(n/k).
+	const n, k = 1000, 50
+	tr := uniformTrace(n, 400)
+	r := dist.NewRNG(302)
+	for _, s := range []Sampler{
+		SystematicCount{K: k},
+		StratifiedCount{K: k},
+		SimpleRandom{K: k},
+	} {
+		idx, err := s.Select(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != n/k {
+			t.Errorf("%s sample size %d, want %d", s.Name(), len(idx), n/k)
+		}
+	}
+}

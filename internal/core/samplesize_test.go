@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's Section 5.1 worked examples.
+func TestSampleSizePaperValues(t *testing.T) {
+	cases := []struct {
+		name        string
+		mean, sd, r float64
+		want        int
+		tol         int
+	}{
+		{"size r=5%", 232, 236, 5, 1590, 3},
+		{"size r=1%", 232, 236, 1, 39752, 40},
+		{"iat r=5%", 2358, 2734, 5, 2066, 3},
+		{"iat r=1%", 2358, 2734, 1, 51644, 52},
+	}
+	for _, c := range cases {
+		got, err := SampleSizeForMean(c.mean, c.sd, c.r, 0.95)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(float64(got-c.want)) > float64(c.tol) {
+			t.Errorf("%s: n = %d, want %d (±%d)", c.name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSampleSizeScalesWithAccuracy(t *testing.T) {
+	// Halving r quadruples n.
+	n5, err := SampleSizeForMean(100, 50, 5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n25, err := SampleSizeForMean(100, 50, 2.5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(n25) / float64(n5)
+	if math.Abs(ratio-4) > 0.05 {
+		t.Fatalf("ratio = %v, want 4", ratio)
+	}
+}
+
+func TestSampleSizeErrors(t *testing.T) {
+	if _, err := SampleSizeForMean(0, 1, 5, 0.95); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := SampleSizeForMean(1, -1, 5, 0.95); err == nil {
+		t.Error("negative sd accepted")
+	}
+	if _, err := SampleSizeForMean(1, 1, 0, 0.95); err == nil {
+		t.Error("zero accuracy accepted")
+	}
+	if _, err := SampleSizeForMean(1, 1, 5, 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := SampleSizeForMean(1, 1, 5, 1); err == nil {
+		t.Error("confidence 1 accepted")
+	}
+}
+
+func TestSampleSizeZeroVariance(t *testing.T) {
+	n, err := SampleSizeForMean(100, 0, 5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("n = %d, want 0 for zero variance", n)
+	}
+}

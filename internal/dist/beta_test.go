@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1, 1) = x; I_x(1, b) = 1-(1-x)^b; I_x(a, 1) = x^a.
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},
+		{1, 2, 0.5, 1 - 0.25},
+		{2, 1, 0.5, 0.25},
+		{1, 3, 0.2, 1 - math.Pow(0.8, 3)},
+		{5, 1, 0.9, math.Pow(0.9, 5)},
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution median
+	}
+	for _, c := range cases {
+		got, err := RegIncBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("I_%v(%v,%v): %v", c.x, c.a, c.b, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBoundsAndErrors(t *testing.T) {
+	if v, err := RegIncBeta(2, 3, 0); err != nil || v != 0 {
+		t.Errorf("x=0: %v, %v", v, err)
+	}
+	if v, err := RegIncBeta(2, 3, 1); err != nil || v != 1 {
+		t.Errorf("x=1: %v, %v", v, err)
+	}
+	for _, bad := range []struct{ a, b, x float64 }{
+		{0, 1, 0.5}, {1, -1, 0.5}, {1, 1, -0.1}, {1, 1, 1.1}, {math.NaN(), 1, 0.5},
+	} {
+		if _, err := RegIncBeta(bad.a, bad.b, bad.x); err == nil {
+			t.Errorf("accepted a=%v b=%v x=%v", bad.a, bad.b, bad.x)
+		}
+	}
+}
+
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(uint64(seed))
+		a := 0.2 + 10*r.Float64()
+		b := 0.2 + 10*r.Float64()
+		x1 := r.Float64()
+		x2 := x1 + (1-x1)*r.Float64()
+		v1, err1 := RegIncBeta(a, b, x1)
+		v2, err2 := RegIncBeta(a, b, x2)
+		return err1 == nil && err2 == nil && v2 >= v1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// Classic t-table values: P(T <= t) for given df.
+	cases := []struct {
+		t, df, want float64
+		tol         float64
+	}{
+		{0, 5, 0.5, 1e-12},
+		{12.706, 1, 0.975, 1e-4}, // t_{0.975, 1}
+		{2.776, 4, 0.975, 1e-4},  // t_{0.975, 4}
+		{2.228, 10, 0.975, 1e-4}, // t_{0.975, 10}
+		{1.96, 1e6, 0.975, 1e-4}, // converges to normal
+		{-2.776, 4, 0.025, 1e-4}, // symmetry
+	}
+	for _, c := range cases {
+		got, err := StudentTCDF(c.t, c.df)
+		if err != nil {
+			t.Fatalf("tcdf(%v,%v): %v", c.t, c.df, err)
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("tcdf(%v,%v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 30, 200} {
+		for _, p := range []float64{0.01, 0.05, 0.5, 0.9, 0.975, 0.999} {
+			q, err := StudentTQuantile(p, df)
+			if err != nil {
+				t.Fatalf("quantile(%v,%v): %v", p, df, err)
+			}
+			back, err := StudentTCDF(q, df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("CDF(Quantile(%v, df=%v)) = %v", p, df, back)
+			}
+		}
+	}
+}
+
+func TestStudentTQuantileWiderThanNormal(t *testing.T) {
+	// Small-sample t intervals must be wider than normal ones.
+	z, err := NormalQuantile(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, df := range []float64{2, 5, 10, 30} {
+		q, err := StudentTQuantile(0.975, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q <= z {
+			t.Errorf("t quantile %v at df=%v not wider than z=%v", q, df, z)
+		}
+	}
+}
+
+func TestStudentTErrors(t *testing.T) {
+	if _, err := StudentTCDF(1, 0); err == nil {
+		t.Error("df=0 accepted")
+	}
+	if _, err := StudentTQuantile(0, 5); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := StudentTQuantile(1, 5); err == nil {
+		t.Error("p=1 accepted")
+	}
+}

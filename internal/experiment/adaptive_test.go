@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveExperiment(t *testing.T) {
+	r, err := Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]AdaptiveRow{}
+	for _, row := range r.Rows {
+		byName[row.Config] = row
+	}
+	un := byName["unsampled"]
+	fx := byName["fixed-1-in-50"]
+	ad := byName["adaptive"]
+	// The unsampled node undercounts on the ramp; sampling fixes it.
+	if un.RelError > -0.1 {
+		t.Errorf("unsampled error %v, expected a large undercount", un.RelError)
+	}
+	if math.Abs(fx.RelError) > 0.05 {
+		t.Errorf("fixed-sampling error %v, want ≈0", fx.RelError)
+	}
+	if math.Abs(ad.RelError) > 0.08 {
+		t.Errorf("adaptive error %v, want ≈0", ad.RelError)
+	}
+	// Adaptive should spend a finer mean granularity than the fixed 50
+	// while staying accurate — the point of the controller.
+	if !(ad.MeanK < fx.MeanK) {
+		t.Errorf("adaptive mean k %v not finer than fixed %v", ad.MeanK, fx.MeanK)
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "ext-adaptive") {
+		t.Error("render missing id")
+	}
+}

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArtsHistFidelity(t *testing.T) {
+	tr := testTrace(t)
+	r, err := ArtsHist(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OccupiedBins < 5 {
+		t.Fatalf("occupied bins = %d; generator size diversity too low", r.OccupiedBins)
+	}
+	if len(r.Phis) != len(r.Granularities) {
+		t.Fatal("shape mismatch")
+	}
+	// Fidelity degrades with coarser sampling; at the operational 1-in-50
+	// the histogram remains very close.
+	if r.Phis[1] > 0.1 { // k = 50
+		t.Errorf("phi at 1-in-50 = %v, want small", r.Phis[1])
+	}
+	if !(r.Phis[len(r.Phis)-1] > r.Phis[0]) {
+		t.Errorf("phi did not grow: %v", r.Phis)
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "ext-artshist") {
+		t.Error("render missing id")
+	}
+}

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBurstProfile(t *testing.T) {
+	tr := testTrace(t)
+	r, err := Burst(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IDC) != len(r.WindowsUS) {
+		t.Fatal("shape mismatch")
+	}
+	// The calibrated traffic is bursty: overdispersed at coarse
+	// timescales (IDC > 1), the property that defeats timer sampling.
+	last := r.IDC[len(r.IDC)-2] // the 1 s window
+	if last <= 1 {
+		t.Errorf("IDC at 1 s = %v, want > 1 (bursty)", last)
+	}
+	for i, v := range r.IDC {
+		if v <= 0 {
+			t.Errorf("IDC[%d] = %v", i, v)
+		}
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "ext-burst") {
+		t.Error("render missing id")
+	}
+}

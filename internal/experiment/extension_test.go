@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtPorts(t *testing.T) {
+	tr := testTrace(t)
+	r, err := ExtPorts(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells < 3 {
+		t.Fatalf("cells = %d", r.Cells)
+	}
+	if len(r.Means) != len(r.Granularities) {
+		t.Fatal("shape mismatch")
+	}
+	// Degrades with coarser sampling.
+	if !(r.Means[len(r.Means)-1] > r.Means[0]) {
+		t.Errorf("port phi did not grow: %v → %v", r.Means[0], r.Means[len(r.Means)-1])
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "port-distribution") {
+		t.Error("render missing name")
+	}
+}
+
+func TestExtMatrixHarderThanPorts(t *testing.T) {
+	tr := testTrace(t)
+	p, err := ExtPorts(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ExtMatrix(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cells <= p.Cells {
+		t.Fatalf("matrix cells %d not larger than port cells %d", m.Cells, p.Cells)
+	}
+	// Compare mean phi across the shared grid: matrix worse overall.
+	var pSum, mSum float64
+	for i := range p.Means {
+		pSum += p.Means[i]
+		mSum += m.Means[i]
+	}
+	if !(mSum > pSum) {
+		t.Fatalf("matrix total phi %v not worse than ports %v", mSum, pSum)
+	}
+	render(t, m)
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure2Schematic(t *testing.T) {
+	r, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Systematic) != 6 || len(r.Stratified) != 6 || len(r.Random) != 6 {
+		t.Fatalf("selection counts: %d %d %d",
+			len(r.Systematic), len(r.Stratified), len(r.Random))
+	}
+	// Systematic picks indices 0,4,8,...; stratified one per bucket.
+	for i, v := range r.Systematic {
+		if v != i*4 {
+			t.Fatalf("systematic = %v", r.Systematic)
+		}
+	}
+	for i, v := range r.Stratified {
+		if v < i*4 || v >= (i+1)*4 {
+			t.Fatalf("stratified pick %d = %d outside bucket", i, v)
+		}
+	}
+	out := render(t, r)
+	for _, want := range []string{"systematic:", "stratified:", "random:", "X"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Strip width: 24 cells + 5 bucket boundaries.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "systematic:") {
+			strip := strings.Fields(line)[1]
+			if len(strip) != 24+5 {
+				t.Errorf("strip width %d: %q", len(strip), strip)
+			}
+		}
+	}
+}

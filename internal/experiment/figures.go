@@ -1,0 +1,632 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"netsample/internal/bins"
+	"netsample/internal/core"
+	"netsample/internal/dist"
+	"netsample/internal/metrics"
+	"netsample/internal/nsfnet"
+	"netsample/internal/stats"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+// newEvaluator builds the evaluator for a target with the paper's bins.
+func newEvaluator(tr *trace.Trace, target core.Target) (*core.Evaluator, error) {
+	var scheme bins.Scheme
+	if target == core.TargetInterarrival {
+		scheme = bins.Interarrival()
+	} else {
+		scheme = bins.PacketSize()
+	}
+	return core.NewEvaluator(tr, target, scheme)
+}
+
+// window extracts the first `seconds` of the trace, the exponentially
+// increasing time windows the paper samples over.
+func window(tr *trace.Trace, seconds int64) *trace.Trace {
+	return tr.Window(0, seconds*1_000_000)
+}
+
+// powerOfTwoGrans returns 2^lo .. 2^hi.
+func powerOfTwoGrans(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// --- Figure 1 -----------------------------------------------------------------
+
+// Figure1Point is one month's totals as reported by the two collection
+// processes.
+type Figure1Point struct {
+	Month      string
+	SNMP       uint64 // exact in-path count (billions in the paper; raw here)
+	NNStat     uint64 // categorized (scaled when sampling) count
+	SamplingOn bool
+}
+
+// Figure1Result reproduces the T1 backbone's SNMP-vs-NNStat discrepancy:
+// offered load grows month over month against a fixed statistics
+// processor; in month `SamplingMonth` the 1-in-50 deployment restores
+// agreement.
+type Figure1Result struct {
+	Points []Figure1Point
+}
+
+// Figure1 simulates `months` months of growing load through a T1 node.
+// Each month is represented by a short trace at that month's load level;
+// capacityPPS is the fixed statistics-processor capacity.
+func Figure1(months int, samplingMonth int, capacityPPS float64) (*Figure1Result, error) {
+	out := &Figure1Result{}
+	const monthSeconds = 30
+	for m := 0; m < months; m++ {
+		// Offered load grows ~8% per month from half the processor
+		// capacity, crossing it about a third of the way through.
+		pps := capacityPPS * 0.5 * pow108(m)
+		cfg := traffgen.Config{
+			Seed:      uint64(9100 + m),
+			Duration:  monthSeconds * time.Second,
+			ClockUS:   400,
+			TargetPPS: pps,
+			Envelope:  traffgen.EnvelopeConfig{Sigma: 0.1, Rho: 0.9, EpochSeconds: 5},
+		}
+		tr, err := traffgen.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sampleK := 0
+		if m >= samplingMonth {
+			sampleK = 50
+		}
+		node := nsfnet.NewT1Node(capacityPPS, 32, sampleK)
+		node.ProcessTrace(tr)
+		out.Points = append(out.Points, Figure1Point{
+			Month:      fmt.Sprintf("month-%02d", m+1),
+			SNMP:       node.SNMP.InPackets,
+			NNStat:     node.CategorizedPackets(),
+			SamplingOn: sampleK > 0,
+		})
+	}
+	return out, nil
+}
+
+// pow108 returns 1.08^m.
+func pow108(m int) float64 {
+	v := 1.0
+	for i := 0; i < m; i++ {
+		v *= 1.08
+	}
+	return v
+}
+
+// ID implements Result.
+func (r *Figure1Result) ID() string { return "figure1" }
+
+// Title implements Result.
+func (r *Figure1Result) Title() string {
+	return "T1 packet totals: SNMP vs NNStat discrepancy under growing load"
+}
+
+// WriteText implements Result.
+func (r *Figure1Result) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %9s\n", "month", "snmp", "nnstat", "shortfall", "sampling")
+	for _, p := range r.Points {
+		short := 0.0
+		if p.SNMP > 0 {
+			short = 1 - float64(p.NNStat)/float64(p.SNMP)
+		}
+		mark := ""
+		if p.SamplingOn {
+			mark = "1-in-50"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %12d %12d %9.1f%% %9s\n",
+			p.Month, p.SNMP, p.NNStat, 100*short, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Figure 3 -----------------------------------------------------------------
+
+// Figure3Point is the full metric report of one granularity.
+type Figure3Point struct {
+	Granularity int
+	SampleSize  int
+	Report      metrics.Report
+}
+
+// Figure3Result plots every disparity metric against exponentially
+// increasing sampling granularity for systematic sampling of the
+// packet-size target over a 2048-second interval.
+type Figure3Result struct {
+	IntervalSeconds int64
+	Points          []Figure3Point
+}
+
+// Figure3 runs the metric comparison on the given parent trace.
+func Figure3(tr *trace.Trace) (*Figure3Result, error) {
+	win := window(tr, 2048)
+	ev, err := newEvaluator(win, core.TargetSize)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure3Result{IntervalSeconds: 2048}
+	for _, k := range powerOfTwoGrans(1, 15) {
+		idx, err := core.SystematicCount{K: k}.Select(win, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ev.Score(idx)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Figure3Point{Granularity: k, SampleSize: len(idx), Report: rep})
+	}
+	return out, nil
+}
+
+// ID implements Result.
+func (r *Figure3Result) ID() string { return "figure3" }
+
+// Title implements Result.
+func (r *Figure3Result) Title() string {
+	return "disparity metrics vs sampling granularity (2048 s interval)"
+}
+
+// WriteText implements Result.
+func (r *Figure3Result) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %9s %12s %8s %12s %12s %10s %10s\n",
+		"1/frac", "n", "chi2", "1-sig", "cost", "rcost", "X2", "phi")
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%8d %9d %12.2f %8.4f %12.0f %12.2f %10.6f %10.6f\n",
+			p.Granularity, p.SampleSize, p.Report.ChiSquare, 1-p.Report.Significance,
+			p.Report.Cost, p.Report.RelativeCost, p.Report.PaxsonX2, p.Report.Phi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Figures 4 and 5: histograms under sampling ---------------------------------
+
+// HistogramFigureResult shows a target's binned proportions at several
+// systematic sampling granularities over a 1024 s interval, with φ
+// scores — Figures 4 (packet size) and 5 (interarrival).
+type HistogramFigureResult struct {
+	Figure        string
+	Target        core.Target
+	Labels        []string
+	Population    []float64
+	Granularities []int
+	Proportions   [][]float64
+	Phis          []float64
+}
+
+// histogramFigure computes Figure 4 or 5.
+func histogramFigure(tr *trace.Trace, target core.Target, figure string) (*HistogramFigureResult, error) {
+	win := window(tr, 1024)
+	var scheme bins.Scheme
+	if target == core.TargetInterarrival {
+		scheme = bins.Interarrival()
+	} else {
+		scheme = bins.PacketSize()
+	}
+	ev, err := core.NewEvaluator(win, target, scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := &HistogramFigureResult{
+		Figure:        figure,
+		Target:        target,
+		Population:    ev.PopulationProportions(),
+		Granularities: []int{4, 64, 256, 2048, 16384},
+	}
+	for i := 0; i < scheme.NumBins(); i++ {
+		out.Labels = append(out.Labels, scheme.Label(i))
+	}
+	for _, k := range out.Granularities {
+		idx, err := core.SystematicCount{K: k}.Select(win, nil)
+		if err != nil {
+			return nil, err
+		}
+		obs := core.Observations(win, target, idx)
+		out.Proportions = append(out.Proportions, bins.Proportions(scheme, obs))
+		rep, err := ev.Score(idx)
+		if err != nil {
+			return nil, err
+		}
+		out.Phis = append(out.Phis, rep.Phi)
+	}
+	return out, nil
+}
+
+// Figure4 reproduces the packet-size histograms under sampling.
+func Figure4(tr *trace.Trace) (*HistogramFigureResult, error) {
+	return histogramFigure(tr, core.TargetSize, "figure4")
+}
+
+// Figure5 reproduces the interarrival histograms under sampling.
+func Figure5(tr *trace.Trace) (*HistogramFigureResult, error) {
+	return histogramFigure(tr, core.TargetInterarrival, "figure5")
+}
+
+// ID implements Result.
+func (r *HistogramFigureResult) ID() string { return r.Figure }
+
+// Title implements Result.
+func (r *HistogramFigureResult) Title() string {
+	return fmt.Sprintf("%s distribution at five systematic sampling granularities (1024 s)", r.Target)
+}
+
+// WriteText implements Result.
+func (r *HistogramFigureResult) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s", "bin")
+	fmt.Fprintf(w, " %10s", "population")
+	for i, k := range r.Granularities {
+		fmt.Fprintf(w, " %7s=%-5d", "1/f", k)
+		_ = i
+	}
+	fmt.Fprintln(w)
+	for b, label := range r.Labels {
+		fmt.Fprintf(w, "%-16s %10.4f", label, r.Population[b])
+		for g := range r.Granularities {
+			fmt.Fprintf(w, " %13.4f", r.Proportions[g][b])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-16s %10s", "phi", "0")
+	for g := range r.Granularities {
+		fmt.Fprintf(w, " %13.5f", r.Phis[g])
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// --- Figures 6 and 7: boxplots and means of systematic φ -------------------------
+
+// Figure6Row is the replication boxplot at one granularity.
+type Figure6Row struct {
+	Granularity  int
+	Replications int
+	Box          stats.Boxplot
+}
+
+// Figure6Result holds φ-score boxplots for systematic packet-size
+// sampling as the sampling fraction decreases (1024 s interval).
+type Figure6Result struct {
+	Rows []Figure6Row
+}
+
+// Figure6 computes the boxplots: replications vary the systematic start
+// offset, as the paper does.
+func Figure6(tr *trace.Trace) (*Figure6Result, error) {
+	win := window(tr, 1024)
+	ev, err := newEvaluator(win, core.TargetSize)
+	if err != nil {
+		return nil, err
+	}
+	r := dist.NewRNG(6001)
+	out := &Figure6Result{}
+	for _, k := range powerOfTwoGrans(2, 15) {
+		count := 20
+		if k < count {
+			count = k
+		}
+		reps, err := core.SystematicOffsets(ev, k, count, r)
+		if err != nil {
+			return nil, err
+		}
+		box, err := stats.NewBoxplot(core.PhiValues(reps))
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure6Row{Granularity: k, Replications: count, Box: box})
+	}
+	return out, nil
+}
+
+// ID implements Result.
+func (r *Figure6Result) ID() string { return "figure6" }
+
+// Title implements Result.
+func (r *Figure6Result) Title() string {
+	return "ranges of systematic phi scores, packet size, vs sampling fraction (1024 s)"
+}
+
+// WriteText implements Result.
+func (r *Figure6Result) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %5s %10s %10s %10s %10s %10s %9s\n",
+		"1/frac", "reps", "loWhisk", "q1", "median", "q3", "hiWhisk", "outliers")
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%8d %5d %10.5f %10.5f %10.5f %10.5f %10.5f %9d\n",
+			row.Granularity, row.Replications,
+			row.Box.LowWhisker, row.Box.Q1, row.Box.Median, row.Box.Q3,
+			row.Box.HighWhisker, len(row.Box.Outliers)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure7Result is the means of Figure 6's boxplots.
+type Figure7Result struct {
+	Granularities []int
+	Means         []float64
+}
+
+// Figure7 computes the mean systematic φ at each granularity.
+func Figure7(tr *trace.Trace) (*Figure7Result, error) {
+	f6, err := Figure6(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure7Result{}
+	for _, row := range f6.Rows {
+		out.Granularities = append(out.Granularities, row.Granularity)
+		out.Means = append(out.Means, row.Box.Mean)
+	}
+	return out, nil
+}
+
+// ID implements Result.
+func (r *Figure7Result) ID() string { return "figure7" }
+
+// Title implements Result.
+func (r *Figure7Result) Title() string {
+	return "means of systematic phi scores, packet size, vs sampling fraction (1024 s)"
+}
+
+// WriteText implements Result.
+func (r *Figure7Result) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %10s\n", "1/frac", "mean-phi")
+	for i := range r.Granularities {
+		if _, err := fmt.Fprintf(w, "%8d %10.5f\n", r.Granularities[i], r.Means[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Figures 8 and 9: the five methods ---------------------------------------------
+
+// MethodSeries is one method's mean φ across granularities.
+type MethodSeries struct {
+	Method string
+	Means  []float64
+}
+
+// MethodsFigureResult compares all five sampling methods' mean φ scores
+// across sampling fractions for one target (Figures 8 and 9).
+type MethodsFigureResult struct {
+	Figure        string
+	Target        core.Target
+	Granularities []int
+	Series        []MethodSeries
+}
+
+// methodsFigure runs the five-method comparison.
+func methodsFigure(tr *trace.Trace, target core.Target, figure string, seed uint64) (*MethodsFigureResult, error) {
+	win := window(tr, 1024)
+	ev, err := newEvaluator(win, target)
+	if err != nil {
+		return nil, err
+	}
+	r := dist.NewRNG(seed)
+	out := &MethodsFigureResult{
+		Figure:        figure,
+		Target:        target,
+		Granularities: powerOfTwoGrans(1, 15),
+	}
+	const replications = 5
+
+	type methodMaker struct {
+		name string
+		make func(k int) (core.Sampler, error)
+	}
+	makers := []methodMaker{
+		{"systematic/packet", func(k int) (core.Sampler, error) { return SamplerForOffsetless(k), nil }},
+		{"stratified/packet", func(k int) (core.Sampler, error) { return core.StratifiedCount{K: k}, nil }},
+		{"random/packet", func(k int) (core.Sampler, error) { return core.SimpleRandom{K: k}, nil }},
+		{"systematic/timer", func(k int) (core.Sampler, error) { return core.NewSystematicTimer(win, float64(k), 0) }},
+		{"stratified/timer", func(k int) (core.Sampler, error) { return core.NewStratifiedTimer(win, float64(k)) }},
+	}
+	for _, mk := range makers {
+		series := MethodSeries{Method: mk.name}
+		for _, k := range out.Granularities {
+			var reps []core.Replication
+			if mk.name == "systematic/packet" {
+				count := replications
+				if k < count {
+					count = k
+				}
+				reps, err = core.SystematicOffsets(ev, k, count, r)
+			} else if mk.name == "systematic/timer" {
+				// Replicate by varying the first expiry offset.
+				reps, err = systematicTimerOffsets(ev, win, k, replications)
+			} else {
+				s, merr := mk.make(k)
+				if merr != nil {
+					return nil, merr
+				}
+				reps, err = core.Replicate(ev, s, replications, r)
+			}
+			if err != nil {
+				return nil, err
+			}
+			series.Means = append(series.Means, core.MeanPhi(reps))
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// SamplerForOffsetless wraps systematic count sampling at offset 0; the
+// replication paths above vary offsets explicitly.
+func SamplerForOffsetless(k int) core.Sampler { return core.SystematicCount{K: k} }
+
+// systematicTimerOffsets replicates systematic timer sampling by varying
+// the first tick within one period.
+func systematicTimerOffsets(ev *core.Evaluator, win *trace.Trace, k, count int) ([]core.Replication, error) {
+	period, err := core.PeriodForGranularity(win, float64(k))
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Replication
+	for i := 0; i < count; i++ {
+		off := int64(i) * period / int64(count)
+		s := core.SystematicTimer{PeriodUS: period, OffsetUS: off}
+		idx, err := s.Select(win, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ev.Score(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Replication{SampleSize: len(idx), Report: rep})
+	}
+	return out, nil
+}
+
+// Figure8 compares the methods on the packet-size target.
+func Figure8(tr *trace.Trace) (*MethodsFigureResult, error) {
+	return methodsFigure(tr, core.TargetSize, "figure8", 8001)
+}
+
+// Figure9 compares the methods on the interarrival target.
+func Figure9(tr *trace.Trace) (*MethodsFigureResult, error) {
+	return methodsFigure(tr, core.TargetInterarrival, "figure9", 9001)
+}
+
+// ID implements Result.
+func (r *MethodsFigureResult) ID() string { return r.Figure }
+
+// Title implements Result.
+func (r *MethodsFigureResult) Title() string {
+	return fmt.Sprintf("mean phi vs sampling fraction for five methods, %s target (1024 s)", r.Target)
+}
+
+// WriteText implements Result.
+func (r *MethodsFigureResult) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s", "1/frac")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, " %18s", s.Method)
+	}
+	fmt.Fprintln(w)
+	for i, k := range r.Granularities {
+		fmt.Fprintf(w, "%8d", k)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %18.5f", s.Means[i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// --- Figures 10 and 11: elapsed-interval effect -------------------------------------
+
+// ElapsedFigureResult shows mean systematic φ as a function of the
+// elapsed sampling interval at several fractions (Figures 10 and 11).
+type ElapsedFigureResult struct {
+	Figure        string
+	Target        core.Target
+	Minutes       []int
+	Granularities []int
+	Means         [][]float64 // [granularity][minute]
+}
+
+// elapsedFigure computes one of the two elapsed-interval figures.
+func elapsedFigure(tr *trace.Trace, target core.Target, figure string, seed uint64) (*ElapsedFigureResult, error) {
+	out := &ElapsedFigureResult{
+		Figure:        figure,
+		Target:        target,
+		Minutes:       []int{1, 2, 4, 8, 16, 32, 60},
+		Granularities: []int{16, 256, 4096},
+	}
+	r := dist.NewRNG(seed)
+	for _, k := range out.Granularities {
+		var row []float64
+		for _, min := range out.Minutes {
+			win := window(tr, int64(min)*60)
+			ev, err := newEvaluator(win, target)
+			if err != nil {
+				return nil, err
+			}
+			count := 5
+			if k < count {
+				count = k
+			}
+			reps, err := core.SystematicOffsets(ev, k, count, r)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, core.MeanPhi(reps))
+		}
+		out.Means = append(out.Means, row)
+	}
+	return out, nil
+}
+
+// Figure10 computes the packet-size elapsed-interval series.
+func Figure10(tr *trace.Trace) (*ElapsedFigureResult, error) {
+	return elapsedFigure(tr, core.TargetSize, "figure10", 10001)
+}
+
+// Figure11 computes the interarrival elapsed-interval series.
+func Figure11(tr *trace.Trace) (*ElapsedFigureResult, error) {
+	return elapsedFigure(tr, core.TargetInterarrival, "figure11", 11001)
+}
+
+// ID implements Result.
+func (r *ElapsedFigureResult) ID() string { return r.Figure }
+
+// Title implements Result.
+func (r *ElapsedFigureResult) Title() string {
+	return fmt.Sprintf("mean systematic phi vs elapsed time, %s target", r.Target)
+}
+
+// WriteText implements Result.
+func (r *ElapsedFigureResult) WriteText(w io.Writer) error {
+	if err := header(w, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s", "minutes")
+	for _, k := range r.Granularities {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("1/%d", k))
+	}
+	fmt.Fprintln(w)
+	for mi, min := range r.Minutes {
+		fmt.Fprintf(w, "%8d", min)
+		for ki := range r.Granularities {
+			fmt.Fprintf(w, " %10.5f", r.Means[ki][mi])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFIXWestRanking(t *testing.T) {
+	tr := testTrace(t)
+	r, err := FIXWest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The paper's footnote: the two environments agree. Both must show
+	// the timer class worse than the packet class.
+	for _, row := range r.Rows {
+		if !(row.TimerPhi > row.PacketPhi) {
+			t.Errorf("%s: timer phi %v not worse than packet %v",
+				row.Environment, row.TimerPhi, row.PacketPhi)
+		}
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "FIX-West") {
+		t.Error("render missing environment")
+	}
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlowBias(t *testing.T) {
+	tr := testTrace(t)
+	r, err := FlowBias(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrueFlows < 50 {
+		t.Fatalf("true flows = %d; generator flow diversity too low", r.TrueFlows)
+	}
+	// k=1 is the identity: full detection, no bias.
+	if r.DetectedFrac[0] != 1 || r.MeanPktsScale[0] != 1 {
+		t.Fatalf("k=1 row not identity: %v %v", r.DetectedFrac[0], r.MeanPktsScale[0])
+	}
+	// Detection collapses monotonically with k; size bias grows.
+	for i := 1; i < len(r.Granularities); i++ {
+		if r.DetectedFrac[i] >= r.DetectedFrac[i-1] {
+			t.Errorf("detected fraction not falling at k=%d: %v", r.Granularities[i], r.DetectedFrac)
+		}
+	}
+	last := len(r.Granularities) - 1
+	if r.DetectedFrac[last] > 0.2 {
+		t.Errorf("1-in-1000 still detects %v of flows", r.DetectedFrac[last])
+	}
+	if r.MeanPktsScale[last] < 2 {
+		t.Errorf("size bias at 1-in-1000 = %v, want large", r.MeanPktsScale[last])
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "ext-flows") {
+		t.Error("render missing id")
+	}
+}

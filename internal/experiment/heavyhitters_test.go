@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeavyHitters(t *testing.T) {
+	tr := testTrace(t)
+	r, err := HeavyHitters(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Overlap) != len(r.Granularities) {
+		t.Fatal("shape mismatch")
+	}
+	// k=1 reproduces the truth exactly.
+	if r.Overlap[0] != 1 {
+		t.Fatalf("k=1 overlap = %v", r.Overlap[0])
+	}
+	// At the operational 1-in-50, most of the top-10 survives — the
+	// heavy cells of the matrix are exactly what sampling preserves.
+	if r.Overlap[2] < 0.6 {
+		t.Errorf("1-in-50 overlap = %v, want most of the top-10", r.Overlap[2])
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "ext-heavyhitters") {
+		t.Error("render missing id")
+	}
+}

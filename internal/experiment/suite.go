@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"netsample/internal/core"
+	"netsample/internal/trace"
+)
+
+// All runs the complete experiment suite — every table and figure — on
+// the given parent trace and returns the results in paper order.
+func All(tr *trace.Trace) ([]Result, error) {
+	var out []Result
+	add := func(r Result, err error) error {
+		if err != nil {
+			return fmt.Errorf("experiment %T: %w", r, err)
+		}
+		out = append(out, r)
+		return nil
+	}
+	out = append(out, Table1())
+	t2, err := Table2(tr)
+	if err := add(t2, err); err != nil {
+		return nil, err
+	}
+	t3, err := Table3(tr)
+	if err := add(t3, err); err != nil {
+		return nil, err
+	}
+	f1, err := Figure1(30, 20, 800)
+	if err := add(f1, err); err != nil {
+		return nil, err
+	}
+	f2, err := Figure2()
+	if err := add(f2, err); err != nil {
+		return nil, err
+	}
+	f3, err := Figure3(tr)
+	if err := add(f3, err); err != nil {
+		return nil, err
+	}
+	f4, err := Figure4(tr)
+	if err := add(f4, err); err != nil {
+		return nil, err
+	}
+	f5, err := Figure5(tr)
+	if err := add(f5, err); err != nil {
+		return nil, err
+	}
+	f6, err := Figure6(tr)
+	if err := add(f6, err); err != nil {
+		return nil, err
+	}
+	f7, err := Figure7(tr)
+	if err := add(f7, err); err != nil {
+		return nil, err
+	}
+	f8, err := Figure8(tr)
+	if err := add(f8, err); err != nil {
+		return nil, err
+	}
+	f9, err := Figure9(tr)
+	if err := add(f9, err); err != nil {
+		return nil, err
+	}
+	f10, err := Figure10(tr)
+	if err := add(f10, err); err != nil {
+		return nil, err
+	}
+	f11, err := Figure11(tr)
+	if err := add(f11, err); err != nil {
+		return nil, err
+	}
+	ss, err := SampleSizes(tr)
+	if err := add(ss, err); err != nil {
+		return nil, err
+	}
+	c1, err := ChiSquareAcceptance(tr, core.TargetSize)
+	if err := add(c1, err); err != nil {
+		return nil, err
+	}
+	c2, err := ChiSquareAcceptance(tr, core.TargetInterarrival)
+	if err := add(c2, err); err != nil {
+		return nil, err
+	}
+	ep, err := ExtPorts(tr)
+	if err := add(ep, err); err != nil {
+		return nil, err
+	}
+	em, err := ExtMatrix(tr)
+	if err := add(em, err); err != nil {
+		return nil, err
+	}
+	th, err := Theory(tr, core.TargetSize)
+	if err := add(th, err); err != nil {
+		return nil, err
+	}
+	ad, err := Adaptive()
+	if err := add(ad, err); err != nil {
+		return nil, err
+	}
+	fw, err := FIXWest(tr)
+	if err := add(fw, err); err != nil {
+		return nil, err
+	}
+	bu, err := Burst(tr)
+	if err := add(bu, err); err != nil {
+		return nil, err
+	}
+	ah, err := ArtsHist(tr)
+	if err := add(ah, err); err != nil {
+		return nil, err
+	}
+	fb, err := FlowBias(tr)
+	if err := add(fb, err); err != nil {
+		return nil, err
+	}
+	hh, err := HeavyHitters(tr)
+	if err := add(hh, err); err != nil {
+		return nil, err
+	}
+	rc, err := ReproCheck(tr)
+	if err := add(rc, err); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteAll renders every result to w, separated by blank lines.
+func WriteAll(w io.Writer, results []Result) error {
+	for _, r := range results {
+		if err := r.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"netsample/internal/core"
+)
+
+func TestTheoryDiagnostics(t *testing.T) {
+	tr := testTrace(t)
+	r, err := Theory(tr, core.TargetSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, d := range r.Rows {
+		if d.PopulationVariance <= 0 || d.MeanWithinVariance <= 0 {
+			t.Fatalf("non-positive variance at k=%d: %+v", d.K, d)
+		}
+		// The calibrated population is close to randomly ordered.
+		if d.Ratio < 0.8 || d.Ratio > 1.2 {
+			t.Errorf("k=%d ratio %v far from 1", d.K, d.Ratio)
+		}
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "sec5-theory") {
+		t.Error("render missing id")
+	}
+}
+
+func TestTheoryInterarrivalTarget(t *testing.T) {
+	tr := testTrace(t)
+	r, err := Theory(tr, core.TargetInterarrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Target != core.TargetInterarrival {
+		t.Fatal("wrong target")
+	}
+	render(t, r)
+}

@@ -1,0 +1,168 @@
+package flows
+
+import (
+	"testing"
+
+	"netsample/internal/core"
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func pkt(tUS int64, srcPort uint16, size uint16) trace.Packet {
+	return trace.Packet{
+		Time: tUS, Size: size, Protocol: packet.ProtoTCP,
+		Src: packet.Addr{10, 0, 0, 1}, Dst: packet.Addr{20, 0, 0, 1},
+		SrcPort: srcPort, DstPort: 23,
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(0); err != ErrBadTimeout {
+		t.Error("zero timeout accepted")
+	}
+}
+
+func TestSingleFlowAggregation(t *testing.T) {
+	tab, err := NewTable(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Add(pkt(0, 1024, 100))
+	tab.Add(pkt(500_000, 1024, 200))
+	tab.Add(pkt(900_000, 1024, 300))
+	fs := tab.Flush()
+	if len(fs) != 1 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+	f := fs[0]
+	if f.Packets != 3 || f.Bytes != 600 || f.FirstUS != 0 || f.LastUS != 900_000 {
+		t.Fatalf("flow = %+v", f)
+	}
+	if f.Duration() != 900_000 {
+		t.Fatalf("duration = %d", f.Duration())
+	}
+}
+
+func TestIdleTimeoutSplitsFlow(t *testing.T) {
+	tab, err := NewTable(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Add(pkt(0, 1024, 100))
+	tab.Add(pkt(50_000, 1024, 100))
+	tab.Add(pkt(300_000, 1024, 100)) // 250 ms gap > 100 ms timeout
+	fs := tab.Flush()
+	if len(fs) != 2 {
+		t.Fatalf("flows = %d, want split", len(fs))
+	}
+	if fs[0].Packets != 2 || fs[1].Packets != 1 {
+		t.Fatalf("split wrong: %+v", fs)
+	}
+}
+
+func TestDistinctKeysDistinctFlows(t *testing.T) {
+	tab, err := NewTable(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Add(pkt(0, 1024, 100))
+	tab.Add(pkt(1, 1025, 100))
+	udp := pkt(2, 1024, 100)
+	udp.Protocol = packet.ProtoUDP
+	tab.Add(udp)
+	if tab.ActiveCount() != 3 {
+		t.Fatalf("active = %d", tab.ActiveCount())
+	}
+	fs := tab.Flush()
+	if len(fs) != 3 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+	if tab.ActiveCount() != 0 {
+		t.Fatal("flush did not reset")
+	}
+}
+
+func TestDecomposeDeterministicOrder(t *testing.T) {
+	tr, err := traffgen.Generate(traffgen.SmallTrace(3003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decompose(tr, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompose(tr, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order not deterministic at %d", i)
+		}
+	}
+	// Packet conservation.
+	var pkts int64
+	for _, f := range a {
+		pkts += f.Packets
+	}
+	if pkts != int64(tr.Len()) {
+		t.Fatalf("flow packets %d != trace %d", pkts, tr.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	fs := []Flow{
+		{Packets: 1, Bytes: 40},
+		{Packets: 9, Bytes: 5000},
+	}
+	s := Summarize(fs)
+	if s.Flows != 2 || s.MeanPackets != 5 || s.MeanBytes != 2520 || s.SingletonShare != 0.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.Flows != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestSamplingBiasesFlowView(t *testing.T) {
+	// The classic sampled-flow bias: a 1-in-k packet sample detects far
+	// fewer flows than exist, and the flows it does detect look larger
+	// on average (per captured packet scaling) — small flows vanish.
+	tr, err := traffgen.Generate(traffgen.SmallTrace(3004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const timeout = 2_000_000
+	full, err := Decompose(tr, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.SystematicCount{K: 50}.Select(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &trace.Trace{Start: tr.Start, ClockUS: tr.ClockUS}
+	for _, i := range idx {
+		sub.Packets = append(sub.Packets, tr.Packets[i])
+	}
+	sampled, err := Decompose(sub, timeout*50) // scale timeout with thinning
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(sampled) < len(full)/2) {
+		t.Fatalf("sampled flows %d not far below true %d", len(sampled), len(full))
+	}
+	fullSum := Summarize(full)
+	sampSum := Summarize(sampled)
+	// Detected flows are biased toward the large: estimated true
+	// packets-per-flow of detected flows (sampled count × k) exceeds the
+	// population mean.
+	if !(sampSum.MeanPackets*50 > fullSum.MeanPackets) {
+		t.Fatalf("no large-flow bias: sampled %v×50 vs true %v",
+			sampSum.MeanPackets, fullSum.MeanPackets)
+	}
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"netsample/internal/dist"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, err := KolmogorovSmirnov(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Fatalf("KS of identical = %v", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("KS of disjoint = %v, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 0.5, 1e-12) {
+		t.Fatalf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err != ErrShape {
+		t.Error("empty sample should fail")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err != ErrShape {
+		t.Error("empty population should fail")
+	}
+}
+
+func TestKSSameDistributionSmall(t *testing.T) {
+	r := dist.NewRNG(61)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For same-distribution samples of n=m=2000, D beyond 0.08 would
+	// reject at far below the 0.001 level.
+	if d > 0.08 {
+		t.Fatalf("KS same-dist = %v, unexpectedly large", d)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	r := dist.NewRNG(62)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 1 // shifted
+	}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.2 {
+		t.Fatalf("KS shifted = %v, unexpectedly small", d)
+	}
+}
+
+func TestAndersonDarlingSelfSample(t *testing.T) {
+	r := dist.NewRNG(63)
+	pop := make([]float64, 5000)
+	for i := range pop {
+		pop[i] = r.NormFloat64()
+	}
+	a2, err := AndersonDarling(pop, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A self-sample against its own ECDF should give a small statistic
+	// (for a perfect uniform PIT, A² ≈ some O(1) constant; sanity bound).
+	if math.IsNaN(a2) || math.IsInf(a2, 0) {
+		t.Fatalf("A² not finite: %v", a2)
+	}
+	if a2 > 2 {
+		t.Fatalf("A² self-sample = %v, unexpectedly large", a2)
+	}
+}
+
+func TestAndersonDarlingDetectsShift(t *testing.T) {
+	r := dist.NewRNG(64)
+	pop := make([]float64, 5000)
+	shifted := make([]float64, 1000)
+	same := make([]float64, 1000)
+	for i := range pop {
+		pop[i] = r.NormFloat64()
+	}
+	for i := range shifted {
+		shifted[i] = r.NormFloat64() + 0.5
+		same[i] = r.NormFloat64()
+	}
+	a2shift, err := AndersonDarling(shifted, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2same, err := AndersonDarling(same, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2shift <= a2same {
+		t.Fatalf("A² failed to separate: shifted %v vs same %v", a2shift, a2same)
+	}
+}
+
+func TestAndersonDarlingEmpty(t *testing.T) {
+	if _, err := AndersonDarling(nil, []float64{1}); err != ErrShape {
+		t.Error("empty sample should fail")
+	}
+	if _, err := AndersonDarling([]float64{1}, nil); err != ErrShape {
+		t.Error("empty population should fail")
+	}
+}

@@ -1,0 +1,141 @@
+// Package nnstat provides the bounded-memory aggregation machinery a
+// statistics processor needs when the full object would not fit — the
+// situation the paper describes for the source-destination matrix,
+// whose "large size" and long tail of small pairs made sampled
+// characterization hard. The TopK sketch implements the Space-Saving
+// algorithm (Metwally, Agrawal & El Abbadi): it tracks the heaviest
+// keys of a stream with a fixed number of counters, guaranteeing that
+// any key with true count above n/capacity is present, with a per-key
+// overestimate bounded by the minimum counter.
+package nnstat
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+)
+
+// TopK is a Space-Saving heavy-hitter sketch over string keys.
+type TopK struct {
+	capacity int
+	entries  map[string]*tkEntry
+	h        tkHeap
+	total    uint64
+}
+
+type tkEntry struct {
+	key     string
+	count   uint64
+	overcnt uint64 // upper bound on the overestimate
+	heapIdx int
+}
+
+// tkHeap is a min-heap over counts.
+type tkHeap []*tkEntry
+
+func (h tkHeap) Len() int            { return len(h) }
+func (h tkHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h tkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *tkHeap) Push(x interface{}) { e := x.(*tkEntry); e.heapIdx = len(*h); *h = append(*h, e) }
+func (h *tkHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// ErrBadCapacity reports a non-positive sketch capacity.
+var ErrBadCapacity = errors.New("nnstat: capacity must be positive")
+
+// NewTopK builds a sketch holding at most capacity counters.
+func NewTopK(capacity int) (*TopK, error) {
+	if capacity < 1 {
+		return nil, ErrBadCapacity
+	}
+	return &TopK{
+		capacity: capacity,
+		entries:  make(map[string]*tkEntry, capacity),
+	}, nil
+}
+
+// Add accounts weight occurrences of key.
+func (t *TopK) Add(key string, weight uint64) {
+	t.total += weight
+	if e, ok := t.entries[key]; ok {
+		e.count += weight
+		heap.Fix(&t.h, e.heapIdx)
+		return
+	}
+	if len(t.entries) < t.capacity {
+		e := &tkEntry{key: key, count: weight}
+		t.entries[key] = e
+		heap.Push(&t.h, e)
+		return
+	}
+	// Evict the minimum counter: the newcomer inherits its count as the
+	// classic Space-Saving overestimate bound.
+	min := t.h[0]
+	delete(t.entries, min.key)
+	e := &tkEntry{key: key, count: min.count + weight, overcnt: min.count, heapIdx: 0}
+	t.entries[key] = e
+	t.h[0] = e
+	heap.Fix(&t.h, 0)
+}
+
+// Total returns the stream weight seen.
+func (t *TopK) Total() uint64 { return t.total }
+
+// Entry is one reported heavy hitter.
+type Entry struct {
+	Key string
+	// Count is the sketch's (over)estimate of the key's true count.
+	Count uint64
+	// MaxError bounds Count's overestimate: true count ∈
+	// [Count-MaxError, Count].
+	MaxError uint64
+}
+
+// Top returns up to n entries by descending estimated count (ties by
+// key for determinism).
+func (t *TopK) Top(n int) []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, Entry{Key: e.key, Count: e.count, MaxError: e.overcnt})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// GuaranteedTop returns the entries whose lower bound (Count-MaxError)
+// exceeds every other entry's upper bound rank-wise — the keys certain
+// to be true heavy hitters.
+func (t *TopK) GuaranteedTop(n int) []Entry {
+	all := t.Top(len(t.entries))
+	var out []Entry
+	for i, e := range all {
+		if len(out) == n {
+			break
+		}
+		guaranteed := true
+		lower := e.Count - e.MaxError
+		for j := i + 1; j < len(all); j++ {
+			if all[j].Count > lower {
+				guaranteed = false
+				break
+			}
+		}
+		if guaranteed {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package nnstat
+
+import (
+	"fmt"
+	"testing"
+
+	"netsample/internal/dist"
+)
+
+func TestNewTopKValidation(t *testing.T) {
+	if _, err := NewTopK(0); err != ErrBadCapacity {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestTopKExactWhenUnderCapacity(t *testing.T) {
+	tk, err := NewTopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Add("a", 5)
+	tk.Add("b", 3)
+	tk.Add("a", 2)
+	top := tk.Top(10)
+	if len(top) != 2 {
+		t.Fatalf("entries = %d", len(top))
+	}
+	if top[0].Key != "a" || top[0].Count != 7 || top[0].MaxError != 0 {
+		t.Fatalf("top = %+v", top[0])
+	}
+	if top[1].Key != "b" || top[1].Count != 3 {
+		t.Fatalf("second = %+v", top[1])
+	}
+	if tk.Total() != 10 {
+		t.Fatalf("total = %d", tk.Total())
+	}
+}
+
+func TestTopKTopNTruncation(t *testing.T) {
+	tk, err := NewTopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tk.Add(fmt.Sprint(i), uint64(i+1))
+	}
+	if len(tk.Top(3)) != 3 {
+		t.Fatal("truncation wrong")
+	}
+}
+
+func TestTopKSpaceSavingGuarantee(t *testing.T) {
+	// A Zipf-ish stream: the sketch must retain every key whose true
+	// count exceeds total/capacity, with correct error bounds.
+	tk, err := NewTopK(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dist.NewRNG(200)
+	truth := map[string]uint64{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		var key string
+		u := r.Float64()
+		switch {
+		case u < 0.3:
+			key = "heavy-0"
+		case u < 0.45:
+			key = "heavy-1"
+		case u < 0.55:
+			key = "heavy-2"
+		default:
+			key = fmt.Sprintf("tail-%d", r.IntN(5000))
+		}
+		truth[key]++
+		tk.Add(key, 1)
+	}
+	top := tk.Top(20)
+	found := map[string]Entry{}
+	for _, e := range top {
+		found[e.Key] = e
+	}
+	for _, heavy := range []string{"heavy-0", "heavy-1", "heavy-2"} {
+		e, ok := found[heavy]
+		if !ok {
+			t.Fatalf("%s missing from sketch", heavy)
+		}
+		// Count is an overestimate bounded by MaxError.
+		if e.Count < truth[heavy] {
+			t.Errorf("%s count %d below truth %d", heavy, e.Count, truth[heavy])
+		}
+		if e.Count-e.MaxError > truth[heavy] {
+			t.Errorf("%s lower bound %d above truth %d", heavy, e.Count-e.MaxError, truth[heavy])
+		}
+	}
+	// The three heavies must be the top three.
+	if top[0].Key != "heavy-0" || top[1].Key != "heavy-1" || top[2].Key != "heavy-2" {
+		t.Fatalf("order wrong: %v %v %v", top[0].Key, top[1].Key, top[2].Key)
+	}
+}
+
+func TestTopKGuaranteedTop(t *testing.T) {
+	tk, err := NewTopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominant key plus churn in the tail.
+	r := dist.NewRNG(201)
+	for i := 0; i < 20000; i++ {
+		if r.Float64() < 0.5 {
+			tk.Add("big", 1)
+		} else {
+			tk.Add(fmt.Sprintf("t%d", r.IntN(500)), 1)
+		}
+	}
+	g := tk.GuaranteedTop(1)
+	if len(g) != 1 || g[0].Key != "big" {
+		t.Fatalf("guaranteed top = %+v", g)
+	}
+}
+
+func TestTopKWeightedAdds(t *testing.T) {
+	// Sampled recording: weight-k adds must behave like k unit adds.
+	tk, err := NewTopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Add("a", 50)
+	tk.Add("b", 100)
+	tk.Add("c", 25)
+	tk.Add("d", 200) // evicts c, inherits its count
+	top := tk.Top(3)
+	if top[0].Key != "d" || top[0].Count != 225 || top[0].MaxError != 25 {
+		t.Fatalf("eviction accounting wrong: %+v", top[0])
+	}
+	if tk.Total() != 375 {
+		t.Fatalf("total = %d", tk.Total())
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	tk, err := NewTopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Add("z", 5)
+	tk.Add("a", 5)
+	top := tk.Top(2)
+	if top[0].Key != "a" || top[1].Key != "z" {
+		t.Fatalf("tie order wrong: %v %v", top[0].Key, top[1].Key)
+	}
+}

@@ -1,0 +1,197 @@
+package nsfnet
+
+import (
+	"testing"
+
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func TestProcessorAcceptsUnderLoad(t *testing.T) {
+	p := NewProcessor(1000, 10) // 1 ms service
+	for i := 0; i < 100; i++ {
+		if !p.Offer(int64(i) * 2000) { // one packet every 2 ms
+			t.Fatalf("packet %d dropped under light load", i)
+		}
+	}
+	if p.Dropped() != 0 || p.Accepted() != 100 {
+		t.Fatalf("accepted=%d dropped=%d", p.Accepted(), p.Dropped())
+	}
+}
+
+func TestProcessorDropsOverload(t *testing.T) {
+	p := NewProcessor(1000, 5) // 1 ms service, 5-packet buffer
+	drops := 0
+	for i := 0; i < 100; i++ {
+		if !p.Offer(int64(i) * 100) { // one packet every 0.1 ms: 10x overload
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no drops under 10x overload")
+	}
+	// Steady state: ~1 accepted per ms over ~10 ms = ~10-15 accepted.
+	if p.Accepted() > 30 {
+		t.Fatalf("accepted %d, expected heavy loss", p.Accepted())
+	}
+	if p.Offered() != 100 || p.Accepted()+p.Dropped() != 100 {
+		t.Fatal("counter conservation violated")
+	}
+}
+
+func TestProcessorRecoversAfterIdle(t *testing.T) {
+	p := NewProcessor(1000, 2)
+	// Saturate.
+	for i := 0; i < 10; i++ {
+		p.Offer(int64(i))
+	}
+	// Long idle, then a new packet must be accepted.
+	if !p.Offer(1_000_000_000) {
+		t.Fatal("packet dropped after long idle")
+	}
+}
+
+func TestProcessorReset(t *testing.T) {
+	p := NewProcessor(100, 2)
+	p.Offer(0)
+	p.Offer(0)
+	p.Offer(0)
+	p.Reset()
+	if p.Offered() != 0 || p.Accepted() != 0 || p.Dropped() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if !p.Offer(0) {
+		t.Fatal("drop after reset")
+	}
+}
+
+func TestProcessorDefensiveConstruction(t *testing.T) {
+	p := NewProcessor(-5, 0) // clamped to valid minimums
+	if !p.Offer(0) {
+		t.Fatal("first packet dropped")
+	}
+}
+
+func mkBurstTrace(n int, gapUS int64) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Time: int64(i) * gapUS, Size: 552, Protocol: packet.ProtoTCP,
+			Src: packet.Addr{132, 249, 1, 1}, Dst: packet.Addr{18, 0, 0, byte(i)},
+			SrcPort: 1024, DstPort: 20,
+		})
+	}
+	return tr
+}
+
+func TestT1NodeSNMPAlwaysExact(t *testing.T) {
+	// Overloaded stats processor: SNMP exact, categorization short.
+	n := NewT1Node(100, 8, 0) // 100 pps capacity
+	tr := mkBurstTrace(5000, 500)
+	n.ProcessTrace(tr)
+	if n.SNMP.InPackets != 5000 {
+		t.Fatalf("SNMP = %d, want 5000", n.SNMP.InPackets)
+	}
+	if n.SNMP.InOctets != 5000*552 {
+		t.Fatalf("octets = %d", n.SNMP.InOctets)
+	}
+	cat := n.CategorizedPackets()
+	if cat >= 5000 {
+		t.Fatalf("categorized %d, expected shortfall under overload", cat)
+	}
+	if cat == 0 {
+		t.Fatal("categorized nothing")
+	}
+}
+
+func TestT1NodeKeepsUpUnderCapacity(t *testing.T) {
+	n := NewT1Node(10_000, 64, 0)
+	tr := mkBurstTrace(2000, 500) // 2000 pps < 10k capacity
+	n.ProcessTrace(tr)
+	if n.CategorizedPackets() != 2000 {
+		t.Fatalf("categorized %d, want all 2000", n.CategorizedPackets())
+	}
+}
+
+func TestT1NodeSamplingRestoresIntegrity(t *testing.T) {
+	// The September 1991 fix: overloaded without sampling, accurate
+	// (in scaled expectation) with 1-in-50 sampling.
+	tr := mkBurstTrace(50_000, 500) // 2000 pps for 25 s
+	plain := NewT1Node(400, 16, 0)  // 400 pps capacity: 5x overload
+	plain.ProcessTrace(tr)
+	plainShortfall := float64(plain.SNMP.InPackets-plain.CategorizedPackets()) / 50000
+
+	sampled := NewT1Node(400, 16, 50)
+	sampled.ProcessTrace(tr)
+	cat := float64(sampled.CategorizedPackets())
+	err := cat - 50000
+	if err < 0 {
+		err = -err
+	}
+	if plainShortfall < 0.3 {
+		t.Fatalf("plain shortfall %v, expected severe undercount", plainShortfall)
+	}
+	if err/50000 > 0.05 {
+		t.Fatalf("sampled estimate %v vs 50000: error too large", cat)
+	}
+}
+
+func TestT3NodeFirmwareSampling(t *testing.T) {
+	n := NewT3Node([]string{"t3-ext", "ethernet", "fddi"}, 50, 5000, 64)
+	tr := mkBurstTrace(10_000, 500)
+	if err := n.ProcessTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	if n.SNMPTotal() != 10_000 {
+		t.Fatalf("SNMP total = %d", n.SNMPTotal())
+	}
+	// Scaled ARTS estimate should be within a few percent of the truth.
+	cat := float64(n.CategorizedPackets())
+	if cat < 9000 || cat > 11000 {
+		t.Fatalf("ARTS estimate %v, want ≈10000", cat)
+	}
+	// All traffic came from one source network: exactly one subsystem
+	// carries the whole SNMP count.
+	nonzero := 0
+	for _, s := range n.Subsystems {
+		if s.SNMP.InPackets > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("subsystems with traffic = %d, want 1", nonzero)
+	}
+}
+
+func TestT3NodeProcessErrors(t *testing.T) {
+	n := NewT3Node(nil, 50, 1000, 8)
+	if err := n.ProcessTrace(&trace.Trace{Packets: []trace.Packet{{}}}); err != ErrNoSubsystem {
+		t.Fatalf("want ErrNoSubsystem, got %v", err)
+	}
+	n2 := NewT3Node([]string{"a"}, 50, 1000, 8)
+	if err := n2.Process(5, trace.Packet{}); err != ErrNoSubsystem {
+		t.Fatalf("want ErrNoSubsystem, got %v", err)
+	}
+}
+
+func TestT3NodeSpreadsAcrossSubsystems(t *testing.T) {
+	// A realistic synthetic trace with many source networks should
+	// exercise every subsystem.
+	tr, err := traffgen.Generate(traffgen.SmallTrace(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewT3Node([]string{"a", "b", "c", "d"}, 50, 50_000, 256)
+	if err := n.ProcessTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range n.Subsystems {
+		if s.SNMP.InPackets == 0 {
+			t.Errorf("subsystem %s saw no traffic", s.Name)
+		}
+	}
+	if n.SNMPTotal() != uint64(tr.Len()) {
+		t.Fatalf("SNMP total %d != %d", n.SNMPTotal(), tr.Len())
+	}
+}

@@ -1,0 +1,281 @@
+// Package online provides streaming (one-packet-at-a-time) forms of the
+// paper's sampling methods — the shape they take in forwarding-path
+// firmware, where the T3 subsystems decided per packet whether to pass
+// the header to the main CPU. The batch samplers in internal/core
+// operate on a complete trace; these operate on a live packet stream
+// with O(1) state and no knowledge of the stream's length.
+//
+// The package also implements reservoir sampling (Vitter's algorithm R),
+// the streaming counterpart of simple random sampling: it maintains a
+// uniform fixed-size sample of an unbounded stream, which the batch
+// method cannot do without knowing N in advance.
+//
+// Equivalence with the batch methods is verified in the tests: streaming
+// systematic selects exactly the same packets as core.SystematicCount,
+// and the timer forms match core's timer samplers tick for tick.
+package online
+
+import (
+	"errors"
+
+	"netsample/internal/dist"
+	"netsample/internal/trace"
+)
+
+// Sampler is a streaming per-packet selector. Offer is called once per
+// packet in arrival order and reports whether that packet is selected.
+type Sampler interface {
+	// Name identifies the method.
+	Name() string
+	// Offer processes one packet arrival and reports selection.
+	Offer(tUS int64) bool
+	// Reset prepares the sampler for a new collection interval.
+	Reset()
+}
+
+// Errors returned by constructors.
+var (
+	ErrBadGranularity = errors.New("online: granularity must be >= 1")
+	ErrBadPeriod      = errors.New("online: timer period must be positive")
+	ErrBadCapacity    = errors.New("online: reservoir capacity must be >= 1")
+)
+
+// Systematic selects every k-th packet: the T3 firmware rule. With
+// offset o, the first selected packet is the (o+1)-th to arrive, then
+// every k-th after it — index-for-index identical to the batch
+// core.SystematicCount{K: k, Offset: o}.
+type Systematic struct {
+	k       int
+	offset  int
+	counter int
+}
+
+// NewSystematic builds a streaming systematic sampler. offset in [0, k)
+// shifts the phase: with offset o, the (o+1)-th packet is the first
+// selected.
+func NewSystematic(k, offset int) (*Systematic, error) {
+	if k < 1 {
+		return nil, ErrBadGranularity
+	}
+	if offset < 0 || offset >= k {
+		return nil, ErrBadGranularity
+	}
+	s := &Systematic{k: k, offset: offset}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements Sampler.
+func (s *Systematic) Name() string { return "online-systematic" }
+
+// Offer implements Sampler.
+func (s *Systematic) Offer(int64) bool {
+	sel := s.counter == 0
+	s.counter++
+	if s.counter == s.k {
+		s.counter = 0
+	}
+	return sel
+}
+
+// Reset implements Sampler.
+func (s *Systematic) Reset() {
+	// First selection after offset packets have passed.
+	s.counter = -s.offset
+	if s.counter < 0 {
+		s.counter += s.k
+	}
+	if s.k == 1 {
+		s.counter = 0
+	}
+}
+
+// Stratified selects one uniformly random packet per bucket of k
+// consecutive packets, drawing the in-bucket position when each bucket
+// opens — O(1) state, no buffering.
+type Stratified struct {
+	k      int
+	rng    *dist.RNG
+	pos    int // position within the current bucket
+	target int // selected position within the current bucket
+}
+
+// NewStratified builds a streaming stratified sampler.
+func NewStratified(k int, rng *dist.RNG) (*Stratified, error) {
+	if k < 1 {
+		return nil, ErrBadGranularity
+	}
+	s := &Stratified{k: k, rng: rng}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements Sampler.
+func (s *Stratified) Name() string { return "online-stratified" }
+
+// Offer implements Sampler.
+func (s *Stratified) Offer(int64) bool {
+	sel := s.pos == s.target
+	s.pos++
+	if s.pos == s.k {
+		s.pos = 0
+		s.target = s.rng.IntN(s.k)
+	}
+	return sel
+}
+
+// Reset implements Sampler.
+func (s *Stratified) Reset() {
+	s.pos = 0
+	s.target = s.rng.IntN(s.k)
+}
+
+// SystematicTimer selects the first packet to arrive at or after each
+// expiry of a periodic timer.
+type SystematicTimer struct {
+	period int64
+	offset int64
+	next   int64
+	armed  bool
+}
+
+// NewSystematicTimer builds a streaming timer sampler whose first tick
+// fires offset µs after the first packet.
+func NewSystematicTimer(periodUS, offsetUS int64) (*SystematicTimer, error) {
+	if periodUS < 1 {
+		return nil, ErrBadPeriod
+	}
+	s := &SystematicTimer{period: periodUS, offset: offsetUS}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements Sampler.
+func (s *SystematicTimer) Name() string { return "online-systematic-timer" }
+
+// Offer implements Sampler.
+func (s *SystematicTimer) Offer(tUS int64) bool {
+	if !s.armed {
+		// The first packet anchors the tick schedule, mirroring the
+		// batch sampler's use of the trace start time.
+		s.next = tUS + s.offset
+		s.armed = true
+	}
+	if tUS >= s.next {
+		// Selection was armed by a tick at or before this arrival; any
+		// further ticks that passed collapse into this one selection.
+		// The next expiry is the first tick strictly after tUS.
+		s.next += ((tUS-s.next)/s.period + 1) * s.period
+		return true
+	}
+	return false
+}
+
+// Reset implements Sampler.
+func (s *SystematicTimer) Reset() {
+	s.armed = false
+	s.next = 0
+}
+
+// StratifiedTimer draws one uniformly random instant per time bucket and
+// selects the next packet to arrive at or after it.
+type StratifiedTimer struct {
+	period    int64
+	rng       *dist.RNG
+	bucketEnd int64
+	instant   int64
+	fired     bool
+	armed     bool
+}
+
+// NewStratifiedTimer builds a streaming stratified timer sampler.
+func NewStratifiedTimer(periodUS int64, rng *dist.RNG) (*StratifiedTimer, error) {
+	if periodUS < 1 {
+		return nil, ErrBadPeriod
+	}
+	s := &StratifiedTimer{period: periodUS, rng: rng}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements Sampler.
+func (s *StratifiedTimer) Name() string { return "online-stratified-timer" }
+
+// Offer implements Sampler.
+func (s *StratifiedTimer) Offer(tUS int64) bool {
+	if !s.armed {
+		s.armed = true
+		s.openBucket(tUS)
+	}
+	for tUS >= s.bucketEnd {
+		s.openBucket(s.bucketEnd)
+	}
+	if !s.fired && tUS >= s.instant {
+		s.fired = true
+		return true
+	}
+	return false
+}
+
+// openBucket starts the bucket beginning at startUS.
+func (s *StratifiedTimer) openBucket(startUS int64) {
+	s.bucketEnd = startUS + s.period
+	s.instant = startUS + s.rng.Int64N(s.period)
+	s.fired = false
+}
+
+// Reset implements Sampler.
+func (s *StratifiedTimer) Reset() {
+	s.armed = false
+	s.fired = false
+	s.bucketEnd = 0
+	s.instant = 0
+}
+
+// Reservoir maintains a uniform random sample of fixed capacity from an
+// unbounded packet stream (Vitter's algorithm R): the streaming
+// counterpart of core.SimpleRandom. Unlike the per-packet Samplers, a
+// packet's membership can be revoked by later arrivals, so the API
+// exposes the current sample rather than a per-packet decision.
+type Reservoir struct {
+	capacity int
+	rng      *dist.RNG
+	seen     int64
+	sample   []trace.Packet
+}
+
+// NewReservoir builds a reservoir of the given capacity.
+func NewReservoir(capacity int, rng *dist.RNG) (*Reservoir, error) {
+	if capacity < 1 {
+		return nil, ErrBadCapacity
+	}
+	return &Reservoir{capacity: capacity, rng: rng}, nil
+}
+
+// Add offers one packet to the reservoir.
+func (r *Reservoir) Add(p trace.Packet) {
+	r.seen++
+	if len(r.sample) < r.capacity {
+		r.sample = append(r.sample, p)
+		return
+	}
+	// Replace a random slot with probability capacity/seen.
+	j := r.rng.Int64N(r.seen)
+	if j < int64(r.capacity) {
+		r.sample[j] = p
+	}
+}
+
+// Seen returns the number of packets offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns a copy of the current sample (unordered).
+func (r *Reservoir) Sample() []trace.Packet {
+	return append([]trace.Packet(nil), r.sample...)
+}
+
+// Reset empties the reservoir.
+func (r *Reservoir) Reset() {
+	r.seen = 0
+	r.sample = r.sample[:0]
+}

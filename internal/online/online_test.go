@@ -1,0 +1,320 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netsample/internal/core"
+	"netsample/internal/dist"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+// offerAll runs a streaming sampler over a trace and collects selected
+// indices.
+func offerAll(s Sampler, tr *trace.Trace) []int {
+	var out []int
+	for i, p := range tr.Packets {
+		if s.Offer(p.Time) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func genTrace(t testing.TB, seed uint64) *trace.Trace {
+	t.Helper()
+	tr, err := traffgen.Generate(traffgen.SmallTrace(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewSystematicValidation(t *testing.T) {
+	if _, err := NewSystematic(0, 0); err != ErrBadGranularity {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSystematic(5, 5); err != ErrBadGranularity {
+		t.Error("offset >= k accepted")
+	}
+	if _, err := NewSystematic(5, -1); err != ErrBadGranularity {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestStreamingSystematicMatchesBatch(t *testing.T) {
+	tr := genTrace(t, 1)
+	for _, k := range []int{1, 2, 7, 50, 997} {
+		for _, off := range []int{0, 1, k / 2, k - 1} {
+			if off < 0 || off >= k {
+				continue
+			}
+			batch, err := core.SystematicCount{K: k, Offset: off}.Select(tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSystematic(k, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := offerAll(s, tr)
+			if !equalInts(batch, stream) {
+				t.Fatalf("k=%d off=%d: batch %d picks, stream %d picks; first few %v vs %v",
+					k, off, len(batch), len(stream), head(batch), head(stream))
+			}
+		}
+	}
+}
+
+func head(xs []int) []int {
+	if len(xs) > 5 {
+		return xs[:5]
+	}
+	return xs
+}
+
+func TestStreamingSystematicReset(t *testing.T) {
+	s, err := NewSystematic(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []bool
+	for i := 0; i < 6; i++ {
+		first = append(first, s.Offer(int64(i)))
+	}
+	s.Reset()
+	for i := 0; i < 6; i++ {
+		if s.Offer(int64(i)) != first[i] {
+			t.Fatalf("reset did not restore phase at %d", i)
+		}
+	}
+}
+
+func TestStreamingStratifiedInvariants(t *testing.T) {
+	tr := genTrace(t, 2)
+	const k = 50
+	s, err := NewStratified(k, dist.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := offerAll(s, tr)
+	full := tr.Len() / k
+	// One selection per full bucket; the tail bucket may or may not fire.
+	if len(idx) < full || len(idx) > full+1 {
+		t.Fatalf("selections = %d, want %d or %d", len(idx), full, full+1)
+	}
+	for i := 0; i < full; i++ {
+		if idx[i] < i*k || idx[i] >= (i+1)*k {
+			t.Fatalf("selection %d = %d outside bucket [%d,%d)", i, idx[i], i*k, (i+1)*k)
+		}
+	}
+}
+
+func TestStreamingStratifiedValidation(t *testing.T) {
+	if _, err := NewStratified(0, dist.NewRNG(1)); err != ErrBadGranularity {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestStreamingStratifiedUniformity(t *testing.T) {
+	// Within a bucket, each position should be equally likely.
+	const k = 8
+	counts := make([]int, k)
+	r := dist.NewRNG(77)
+	const buckets = 40000
+	s, err := NewStratified(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < buckets; b++ {
+		for p := 0; p < k; p++ {
+			if s.Offer(0) {
+				counts[p]++
+			}
+		}
+	}
+	for p, c := range counts {
+		f := float64(c) / buckets
+		if f < 0.11 || f > 0.14 {
+			t.Errorf("position %d frequency %v, want 0.125", p, f)
+		}
+	}
+}
+
+func TestStreamingSystematicTimerMatchesBatch(t *testing.T) {
+	tr := genTrace(t, 3)
+	for _, k := range []float64{4, 64, 1024} {
+		period, err := core.PeriodForGranularity(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, off := range []int64{0, period / 3} {
+			batch, err := (core.SystematicTimer{PeriodUS: period, OffsetUS: off}).Select(tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSystematicTimer(period, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := offerAll(s, tr)
+			if !equalInts(batch, stream) {
+				t.Fatalf("k=%v off=%d: batch %d vs stream %d picks",
+					k, off, len(batch), len(stream))
+			}
+		}
+	}
+}
+
+func TestStreamingSystematicTimerValidation(t *testing.T) {
+	if _, err := NewSystematicTimer(0, 0); err != ErrBadPeriod {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestStreamingStratifiedTimerBehaves(t *testing.T) {
+	tr := genTrace(t, 4)
+	period, err := core.PeriodForGranularity(tr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStratifiedTimer(period, dist.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := offerAll(s, tr)
+	// Roughly one selection per period across the trace span.
+	span := tr.Packets[tr.Len()-1].Time - tr.Packets[0].Time
+	expect := float64(span) / float64(period)
+	if got := float64(len(idx)); got < expect*0.8 || got > expect*1.1 {
+		t.Fatalf("selections = %v, want ≈%v", got, expect)
+	}
+	// Strictly increasing, in range.
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatal("selections not strictly increasing")
+		}
+	}
+}
+
+func TestStreamingStratifiedTimerValidation(t *testing.T) {
+	if _, err := NewStratifiedTimer(0, dist.NewRNG(1)); err != ErrBadPeriod {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, dist.NewRNG(1)); err != ErrBadCapacity {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestReservoirFillsThenHolds(t *testing.T) {
+	r, err := NewReservoir(10, dist.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(trace.Packet{Size: uint16(i)})
+	}
+	if len(r.Sample()) != 5 {
+		t.Fatalf("partial fill = %d", len(r.Sample()))
+	}
+	for i := 5; i < 1000; i++ {
+		r.Add(trace.Packet{Size: uint16(i)})
+	}
+	if len(r.Sample()) != 10 {
+		t.Fatalf("capacity violated: %d", len(r.Sample()))
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+	r.Reset()
+	if len(r.Sample()) != 0 || r.Seen() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestReservoirUniformInclusion(t *testing.T) {
+	// Every stream position must appear in the final sample with
+	// probability capacity/N.
+	const n = 200
+	const capacity = 20
+	const runs = 8000
+	counts := make([]int, n)
+	rng := dist.NewRNG(7)
+	for run := 0; run < runs; run++ {
+		r, err := NewReservoir(capacity, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			r.Add(trace.Packet{SrcPort: uint16(i)})
+		}
+		for _, p := range r.Sample() {
+			counts[p.SrcPort]++
+		}
+	}
+	want := float64(runs) * capacity / n
+	for i, c := range counts {
+		f := float64(c) / want
+		if f < 0.85 || f > 1.15 {
+			t.Errorf("position %d inclusion ratio %v, want ≈1", i, f)
+		}
+	}
+}
+
+func TestReservoirSampleIsCopy(t *testing.T) {
+	r, err := NewReservoir(2, dist.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(trace.Packet{Size: 1})
+	s := r.Sample()
+	s[0].Size = 99
+	if r.Sample()[0].Size == 99 {
+		t.Fatal("Sample aliases internal state")
+	}
+}
+
+func TestStreamingSamplersProperty(t *testing.T) {
+	// Selection counts stay within one of N/k for systematic, for any
+	// trace shape.
+	f := func(seed int64) bool {
+		r := dist.NewRNG(uint64(seed))
+		n := 1 + r.IntN(3000)
+		k := 1 + r.IntN(60)
+		off := r.IntN(k)
+		s, err := NewSystematic(k, off)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for i := 0; i < n; i++ {
+			if s.Offer(int64(i)) {
+				count++
+			}
+		}
+		want := 0
+		if n > off {
+			want = (n - off + k - 1) / k
+		}
+		return count == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

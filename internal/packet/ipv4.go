@@ -1,0 +1,89 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 header without options (IHL = 5), which covers the
+// traffic the study's generator produces. TotalLength includes the header
+// and payload, exactly the "packet size" distribution the paper analyzes.
+type IPv4 struct {
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	Flags       uint8 // 3 bits: reserved, DF, MF
+	FragOffset  uint16
+	TTL         uint8
+	Protocol    Protocol
+	Src, Dst    Addr
+}
+
+// Encode serializes the header into buf (at least IPv4HeaderLen bytes),
+// computing the header checksum, and returns the number of bytes written.
+func (h *IPv4) Encode(buf []byte) (int, error) {
+	if len(buf) < IPv4HeaderLen {
+		return 0, ErrTruncated
+	}
+	if h.TotalLength < IPv4HeaderLen {
+		return 0, fmt.Errorf("%w: total length %d below header length", ErrBadField, h.TotalLength)
+	}
+	if h.Flags > 7 {
+		return 0, fmt.Errorf("%w: flags %#x wider than 3 bits", ErrBadField, h.Flags)
+	}
+	if h.FragOffset > 0x1fff {
+		return 0, fmt.Errorf("%w: fragment offset %d wider than 13 bits", ErrBadField, h.FragOffset)
+	}
+	buf[0] = 0x45 // version 4, IHL 5
+	buf[1] = h.TOS
+	binary.BigEndian.PutUint16(buf[2:], h.TotalLength)
+	binary.BigEndian.PutUint16(buf[4:], h.ID)
+	binary.BigEndian.PutUint16(buf[6:], uint16(h.Flags)<<13|h.FragOffset)
+	buf[8] = h.TTL
+	buf[9] = uint8(h.Protocol)
+	buf[10], buf[11] = 0, 0 // checksum zeroed for computation
+	copy(buf[12:16], h.Src[:])
+	copy(buf[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:IPv4HeaderLen]))
+	return IPv4HeaderLen, nil
+}
+
+// DecodeIPv4 parses an IPv4 header from buf, verifying version, length
+// consistency and the header checksum. It returns the header and the
+// header length (options are accepted but not interpreted).
+func DecodeIPv4(buf []byte) (IPv4, int, error) {
+	if len(buf) < IPv4HeaderLen {
+		return IPv4{}, 0, ErrTruncated
+	}
+	if buf[0]>>4 != 4 {
+		return IPv4{}, 0, fmt.Errorf("%w: version %d", ErrBadField, buf[0]>>4)
+	}
+	ihl := int(buf[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen {
+		return IPv4{}, 0, fmt.Errorf("%w: IHL %d", ErrBadField, ihl)
+	}
+	if len(buf) < ihl {
+		return IPv4{}, 0, ErrTruncated
+	}
+	if Checksum(buf[:ihl]) != 0 {
+		return IPv4{}, 0, fmt.Errorf("%w: header checksum mismatch", ErrBadField)
+	}
+	var h IPv4
+	h.TOS = buf[1]
+	h.TotalLength = binary.BigEndian.Uint16(buf[2:])
+	if int(h.TotalLength) < ihl {
+		return IPv4{}, 0, fmt.Errorf("%w: total length %d below IHL %d", ErrBadField, h.TotalLength, ihl)
+	}
+	h.ID = binary.BigEndian.Uint16(buf[4:])
+	ff := binary.BigEndian.Uint16(buf[6:])
+	h.Flags = uint8(ff >> 13)
+	h.FragOffset = ff & 0x1fff
+	h.TTL = buf[8]
+	h.Protocol = Protocol(buf[9])
+	copy(h.Src[:], buf[12:16])
+	copy(h.Dst[:], buf[16:20])
+	return h, ihl, nil
+}

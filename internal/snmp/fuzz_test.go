@@ -1,0 +1,31 @@
+package snmp
+
+import "testing"
+
+// FuzzAgentHandle: arbitrary datagrams must never panic the agent.
+func FuzzAgentHandle(f *testing.F) {
+	a := NewAgent()
+	if err := a.Register("c", func() uint64 { return 1 }); err != nil {
+		f.Fatal(err)
+	}
+	req := respHeader(7, typeGet)
+	req = append(req, 1, 1, 'c')
+	f.Add(req)
+	f.Add([]byte{})
+	f.Add([]byte{0x47, 0x53, 1, 1, 0, 0, 0, 0, 1, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = a.handle(data)
+	})
+}
+
+// FuzzParseResponse: arbitrary datagrams must never panic the manager's
+// response parser.
+func FuzzParseResponse(f *testing.F) {
+	resp := respHeader(7, typeValues)
+	resp = append(resp, 1, 1, 'c', 1, 0, 0, 0, 0, 0, 0, 0)
+	f.Add(resp, uint32(7))
+	f.Add([]byte{}, uint32(0))
+	f.Fuzz(func(t *testing.T, data []byte, id uint32) {
+		_, _, _ = parseResponse(data, id)
+	})
+}

@@ -1,0 +1,40 @@
+package stats
+
+import "errors"
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lags: r(h) = Σ(x_t-µ)(x_{t+h}-µ) / Σ(x_t-µ)². It underpins the §5
+// efficiency theory of the paper: positive correlation between elements
+// within a systematic sample makes stratified or simple random sampling
+// more efficient, while a randomly ordered population makes all three
+// equivalent.
+func Autocorrelation(xs []float64, lags ...int) ([]float64, error) {
+	if len(xs) < 2 {
+		return nil, ErrEmpty
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var denom float64
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return nil, errors.New("stats: zero variance, autocorrelation undefined")
+	}
+	out := make([]float64, len(lags))
+	for i, h := range lags {
+		if h < 0 || h >= len(xs) {
+			return nil, errors.New("stats: lag outside [0, n)")
+		}
+		var num float64
+		for t := 0; t+h < len(xs); t++ {
+			num += (xs[t] - mean) * (xs[t+h] - mean)
+		}
+		out[i] = num / denom
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "sort"
+
+// Boxplot is the five-number summary underlying the paper's Figure 6
+// boxplots, following the convention stated in the paper's footnote: the
+// whiskers extend to the most extreme data point within 1.5 interquartile
+// ranges of the box (and the box spans the quartiles). Points beyond the
+// whiskers are reported as outliers.
+type Boxplot struct {
+	N           int
+	LowWhisker  float64
+	Q1          float64
+	Median      float64
+	Q3          float64
+	HighWhisker float64
+	Mean        float64
+	Outliers    []float64
+}
+
+// NewBoxplot computes the boxplot summary of xs.
+func NewBoxplot(xs []float64) (Boxplot, error) {
+	if len(xs) == 0 {
+		return Boxplot{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	b := Boxplot{
+		N:      len(sorted),
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	b.Mean = sum / float64(len(sorted))
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	// Whiskers reach the extreme data values inside the fences.
+	b.LowWhisker = b.Q1
+	for _, x := range sorted {
+		if x >= loFence {
+			b.LowWhisker = x
+			break
+		}
+	}
+	b.HighWhisker = b.Q3
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if sorted[i] <= hiFence {
+			b.HighWhisker = sorted[i]
+			break
+		}
+	}
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+		}
+	}
+	return b, nil
+}

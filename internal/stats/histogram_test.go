@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"netsample/internal/dist"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("nil edges should fail")
+	}
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Error("single edge should fail")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-increasing edges should fail")
+	}
+	if _, err := NewHistogram([]float64{1, math.NaN(), 3}); err == nil {
+		t.Error("NaN edge should fail")
+	}
+	if _, err := NewHistogram([]float64{3, 2, 1}); err == nil {
+		t.Error("decreasing edges should fail")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-5, 0, 5, 9.999, 10, 15, 29.999, 30, 100})
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d", h.Underflow)
+	}
+	if h.Overflow != 2 { // 30 and 100: 30 is at the top edge → overflow
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	want := []int64{3, 2, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 9 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramEdgeValueGoesToRightBin(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 10, 20})
+	h.Add(10) // exactly on interior edge: belongs to bin [10,20)
+	if h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Fatalf("edge value misbinned: %v", h.Counts)
+	}
+}
+
+func TestHistogramConservesTotalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := dist.NewRNG(uint64(seed))
+		h, err := NewHistogram([]float64{-1, 0, 0.5, 2})
+		if err != nil {
+			return false
+		}
+		n := r.IntN(500)
+		for i := 0; i < n; i++ {
+			h.Add(r.NormFloat64())
+		}
+		return h.Total() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramProportions(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1, 2})
+	if h.Proportions() != nil {
+		t.Error("empty histogram proportions should be nil")
+	}
+	h.AddAll([]float64{0.5, 0.6, 1.5, -3}) // one underflow excluded
+	p := h.Proportions()
+	if !almost(p[0], 2.0/3, 1e-12) || !almost(p[1], 1.0/3, 1e-12) {
+		t.Errorf("proportions = %v", p)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1})
+	h.AddAll([]float64{-1, 0.5, 2})
+	h.Reset()
+	if h.Total() != 0 || h.Underflow != 0 || h.Overflow != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 41, 181}) // paper's size bins lower part
+	h.AddAll([]float64{40, 40, 552})
+	s := h.String()
+	if !strings.Contains(s, "[0, 41): 2") {
+		t.Errorf("unexpected render:\n%s", s)
+	}
+	if !strings.Contains(s, "overflow: 1") {
+		t.Errorf("overflow missing:\n%s", s)
+	}
+}
+
+func TestFixedWidthEdges(t *testing.T) {
+	edges, err := FixedWidthEdges(0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 25, 50, 75, 100}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v", edges)
+		}
+	}
+	if _, err := FixedWidthEdges(5, 5, 3); err == nil {
+		t.Error("degenerate range should fail")
+	}
+	if _, err := FixedWidthEdges(0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := make([]float64, 1000)
+	r := dist.NewRNG(41)
+	for i := range xs {
+		xs[i] = r.Float64() * 50
+	}
+	edges, err := QuantileEdges(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 6 {
+		t.Fatalf("edges = %v", edges)
+	}
+	h, err := NewHistogram(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll(xs)
+	if h.Underflow != 0 || h.Overflow != 0 {
+		t.Fatalf("quantile edges leaked data: under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	// Roughly balanced bins.
+	for i, c := range h.Counts {
+		if c < 150 || c > 250 {
+			t.Errorf("bin %d unbalanced: %d", i, c)
+		}
+	}
+}
+
+func TestQuantileEdgesDiscreteData(t *testing.T) {
+	// Heavily tied data (constant) must still produce valid edges.
+	xs := []float64{7, 7, 7, 7, 7}
+	edges, err := QuantileEdges(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHistogram(edges)
+	if err != nil {
+		t.Fatalf("edges invalid: %v (%v)", err, edges)
+	}
+	h.AddAll(xs)
+	if h.Underflow != 0 || h.Overflow != 0 {
+		t.Fatalf("tied data leaked: %+v edges=%v", h, edges)
+	}
+}
+
+func TestQuantileEdgesErrors(t *testing.T) {
+	if _, err := QuantileEdges(nil, 3); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := QuantileEdges([]float64{1}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestBoxplotBasic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b, err := NewBoxplot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Median != 5 || b.Q1 != 3 || b.Q3 != 7 {
+		t.Fatalf("quartiles wrong: %+v", b)
+	}
+	if b.LowWhisker != 1 || b.HighWhisker != 9 {
+		t.Fatalf("whiskers wrong: %+v", b)
+	}
+	if len(b.Outliers) != 0 {
+		t.Fatalf("unexpected outliers: %v", b.Outliers)
+	}
+}
+
+func TestBoxplotOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b, err := NewBoxplot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v", b.Outliers)
+	}
+	if b.HighWhisker == 100 {
+		t.Fatal("whisker should not reach outlier")
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	if _, err := NewBoxplot(nil); err != ErrEmpty {
+		t.Fatal("empty boxplot should fail")
+	}
+}
+
+func TestBoxplotSingle(t *testing.T) {
+	b, err := NewBoxplot([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Median != 5 || b.LowWhisker != 5 || b.HighWhisker != 5 || b.Mean != 5 {
+		t.Fatalf("single boxplot: %+v", b)
+	}
+}

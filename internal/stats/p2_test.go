@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"netsample/internal/dist"
+)
+
+func TestNewP2Validation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewP2(q); err == nil {
+			t.Errorf("q=%v accepted", q)
+		}
+	}
+}
+
+func TestP2Empty(t *testing.T) {
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Quantile(); err != ErrEmpty {
+		t.Fatal("empty estimator should fail")
+	}
+}
+
+func TestP2SmallSampleExact(t *testing.T) {
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{3, 1, 2} {
+		p.Add(x)
+	}
+	got, err := p.Quantile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("small-sample median = %v", got)
+	}
+}
+
+// p2VsExact runs the estimator over data and compares to the exact
+// quantile, returning relative error against the data's spread.
+func p2VsExact(t *testing.T, q float64, xs []float64) float64 {
+	t.Helper()
+	p, err := NewP2(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		p.Add(x)
+	}
+	if p.N() != len(xs) {
+		t.Fatalf("N = %d", p.N())
+	}
+	got, err := p.Quantile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Quantile(xs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Quantile(xs, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Quantile(xs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread == lo {
+		return 0
+	}
+	return math.Abs(got-exact) / (spread - lo)
+}
+
+func TestP2AccuracyUniform(t *testing.T) {
+	r := dist.NewRNG(110)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = r.Float64() * 1000
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95} {
+		if e := p2VsExact(t, q, xs); e > 0.01 {
+			t.Errorf("uniform q=%v relative error %v", q, e)
+		}
+	}
+}
+
+func TestP2AccuracyExponential(t *testing.T) {
+	r := dist.NewRNG(111)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 2358
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		if e := p2VsExact(t, q, xs); e > 0.02 {
+			t.Errorf("exponential q=%v relative error %v", q, e)
+		}
+	}
+}
+
+func TestP2AccuracyBimodal(t *testing.T) {
+	// The packet-size shape: spikes at 40 and 552.
+	r := dist.NewRNG(112)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		if r.Float64() < 0.45 {
+			xs[i] = 40 + r.Float64()*2
+		} else {
+			xs[i] = 552 + r.Float64()*2
+		}
+	}
+	// The median sits in the 552 spike.
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		p.Add(x)
+	}
+	got, err := p.Quantile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 500 || got > 560 {
+		t.Fatalf("bimodal median estimate = %v, want ≈552", got)
+	}
+}
+
+func TestP2MonotoneInQ(t *testing.T) {
+	r := dist.NewRNG(113)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.NormFloat64() * 100
+	}
+	var prev float64
+	for i, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p, err := NewP2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			p.Add(x)
+		}
+		got, err := p.Quantile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && got <= prev {
+			t.Fatalf("q=%v estimate %v not above previous %v", q, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"netsample/internal/packet"
+)
+
+// Binary trace file format ("NSTR"):
+//
+//	header (32 bytes):
+//	  magic   [4]byte  "NSTR"
+//	  version uint16   currently 1
+//	  _       uint16   reserved, zero
+//	  start   int64    Unix µs of timestamp zero
+//	  clockUS int64    capture clock granularity in µs
+//	  count   uint64   number of records
+//	record (24 bytes each, little-endian):
+//	  time    int64    µs since trace start
+//	  size    uint16   IP total length
+//	  proto   uint8
+//	  tcpFl   uint8
+//	  src     [4]byte
+//	  dst     [4]byte
+//	  sport   uint16
+//	  dport   uint16
+//
+// The format is deliberately fixed-width so a reader can random-access
+// records and a node simulation can bound its buffer usage.
+
+var traceMagic = [4]byte{'N', 'S', 'T', 'R'}
+
+// Format constants.
+const (
+	FormatVersion = 1
+	headerLen     = 32
+	recordLen     = 24
+)
+
+// ErrFormat reports a malformed trace stream.
+var ErrFormat = errors.New("trace: malformed trace stream")
+
+// Write serializes the trace to w in NSTR format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [headerLen]byte
+	copy(hdr[0:4], traceMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(t.Start.UnixMicro()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.ClockUS))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(t.Packets)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordLen]byte
+	for _, p := range t.Packets {
+		encodeRecord(&rec, p)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeRecord(rec *[recordLen]byte, p Packet) {
+	binary.LittleEndian.PutUint64(rec[0:], uint64(p.Time))
+	binary.LittleEndian.PutUint16(rec[8:], p.Size)
+	rec[10] = uint8(p.Protocol)
+	rec[11] = p.TCPFlags
+	copy(rec[12:16], p.Src[:])
+	copy(rec[16:20], p.Dst[:])
+	binary.LittleEndian.PutUint16(rec[20:], p.SrcPort)
+	binary.LittleEndian.PutUint16(rec[22:], p.DstPort)
+}
+
+func decodeRecord(rec *[recordLen]byte) Packet {
+	var p Packet
+	p.Time = int64(binary.LittleEndian.Uint64(rec[0:]))
+	p.Size = binary.LittleEndian.Uint16(rec[8:])
+	p.Protocol = packet.Protocol(rec[10])
+	p.TCPFlags = rec[11]
+	copy(p.Src[:], rec[12:16])
+	copy(p.Dst[:], rec[16:20])
+	p.SrcPort = binary.LittleEndian.Uint16(rec[20:])
+	p.DstPort = binary.LittleEndian.Uint16(rec[22:])
+	return p
+}
+
+// Read deserializes a complete NSTR trace from r, verifying the magic,
+// version and record count. A stream that ends early returns ErrFormat.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if [4]byte(hdr[0:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	t := &Trace{
+		Start:   time.UnixMicro(int64(binary.LittleEndian.Uint64(hdr[8:]))).UTC(),
+		ClockUS: int64(binary.LittleEndian.Uint64(hdr[16:])),
+	}
+	count := binary.LittleEndian.Uint64(hdr[24:])
+	const maxRecords = 1 << 28 // 256M packets ≈ 6 GiB; reject absurd headers
+	if count > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d exceeds limit", ErrFormat, count)
+	}
+	// Cap the upfront allocation: the count field is untrusted input, so
+	// a forged header must not force gigabytes of capacity before the
+	// (length-checked) record reads fail.
+	preallocate := count
+	if preallocate > 1<<20 {
+		preallocate = 1 << 20
+	}
+	t.Packets = make([]Packet, 0, preallocate)
+	var rec [recordLen]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrFormat, i, err)
+		}
+		t.Packets = append(t.Packets, decodeRecord(&rec))
+	}
+	return t, nil
+}

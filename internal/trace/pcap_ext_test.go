@@ -1,0 +1,44 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func TestPcapPreservesStatistics(t *testing.T) {
+	// The whole point of the export: sampling studies on a re-imported
+	// trace see the same size distribution and timestamps.
+	tr, err := traffgen.Generate(traffgen.SmallTrace(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len %d vs %d", got.Len(), tr.Len())
+	}
+	// The pcap format carries absolute timestamps only, so the reader
+	// rebases time zero to the first packet; compare gaps.
+	var wantBytes, gotBytes int64
+	for i := range tr.Packets {
+		wantBytes += int64(tr.Packets[i].Size)
+		gotBytes += int64(got.Packets[i].Size)
+		wantRel := tr.Packets[i].Time - tr.Packets[0].Time
+		gotRel := got.Packets[i].Time - got.Packets[0].Time
+		if wantRel != gotRel {
+			t.Fatalf("timestamp drift at %d: %d vs %d", i, gotRel, wantRel)
+		}
+	}
+	if wantBytes != gotBytes {
+		t.Fatalf("byte volume %d vs %d", gotBytes, wantBytes)
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"netsample/internal/packet"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	tr := &Trace{Start: time.Unix(733000000, 0).UTC(), ClockUS: 400}
+	tr.Packets = []Packet{
+		{Time: 0, Size: 552, Protocol: packet.ProtoTCP, TCPFlags: packet.TCPAck,
+			Src: packet.Addr{132, 249, 1, 1}, Dst: packet.Addr{18, 0, 0, 1},
+			SrcPort: 1024, DstPort: 20},
+		{Time: 400, Size: 120, Protocol: packet.ProtoUDP,
+			Src: packet.Addr{128, 54, 2, 2}, Dst: packet.Addr{192, 31, 7, 9},
+			SrcPort: 2049, DstPort: 53},
+		{Time: 1200, Size: 28, Protocol: packet.ProtoICMP,
+			Src: packet.Addr{10, 0, 0, 1}, Dst: packet.Addr{11, 0, 0, 1}},
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if !got.Start.Equal(tr.Start) {
+		t.Fatalf("start = %v", got.Start)
+	}
+	for i, want := range tr.Packets {
+		g := got.Packets[i]
+		if g.Time != want.Time || g.Size != want.Size || g.Protocol != want.Protocol {
+			t.Fatalf("record %d: %+v vs %+v", i, g, want)
+		}
+		if want.Protocol != packet.ProtoICMP {
+			if g.SrcPort != want.SrcPort || g.DstPort != want.DstPort {
+				t.Fatalf("record %d ports: %+v", i, g)
+			}
+		}
+		if g.TCPFlags != want.TCPFlags {
+			t.Fatalf("record %d flags: %v vs %v", i, g.TCPFlags, want.TCPFlags)
+		}
+	}
+}
+
+func TestPcapHeaderLayout(t *testing.T) {
+	tr := &Trace{Start: time.Unix(0, 0).UTC()}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if len(data) != pcapFileHeader {
+		t.Fatalf("empty pcap length %d", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != 0xa1b2c3d4 {
+		t.Fatal("magic wrong")
+	}
+	if binary.LittleEndian.Uint16(data[4:]) != 2 || binary.LittleEndian.Uint16(data[6:]) != 4 {
+		t.Fatal("version wrong")
+	}
+	if binary.LittleEndian.Uint32(data[20:]) != 101 {
+		t.Fatal("link type wrong")
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("tiny"))); !errors.Is(err, ErrFormat) {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, pcapFileHeader)
+	binary.LittleEndian.PutUint32(bad, 0xdeadbeef)
+	if _, err := ReadPcap(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+		t.Error("bad magic accepted")
+	}
+	// Big-endian magic is recognized but unsupported.
+	binary.LittleEndian.PutUint32(bad, pcapMagicBE)
+	if _, err := ReadPcap(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+		t.Error("big-endian accepted")
+	}
+	// Wrong link type.
+	good := make([]byte, pcapFileHeader)
+	binary.LittleEndian.PutUint32(good, pcapMagic)
+	binary.LittleEndian.PutUint32(good[20:], 1) // ethernet
+	if _, err := ReadPcap(bytes.NewReader(good)); !errors.Is(err, ErrFormat) {
+		t.Error("ethernet link type accepted")
+	}
+}
+
+func TestReadPcapTruncatedRecord(t *testing.T) {
+	tr := &Trace{Start: time.Unix(0, 0).UTC(), Packets: []Packet{
+		{Size: 552, Protocol: packet.ProtoTCP, Src: packet.Addr{1, 0, 0, 1}, Dst: packet.Addr{2, 0, 0, 1}},
+	}}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{pcapFileHeader + 3, len(data) - 2} {
+		if _, err := ReadPcap(bytes.NewReader(data[:cut])); !errors.Is(err, ErrFormat) {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

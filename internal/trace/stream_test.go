@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netsample/internal/packet"
+)
+
+func TestStreamReaderMatchesBatch(t *testing.T) {
+	tr := mkTrace([]int64{0, 400, 800, 1200}, []uint16{40, 552, 1500, 28})
+	tr.ClockUS = 400
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total() != 4 || sr.ClockUS() != 400 || !sr.Start().Equal(tr.Start) {
+		t.Fatalf("metadata: total=%d clock=%d", sr.Total(), sr.ClockUS())
+	}
+	for i := 0; ; i++ {
+		p, err := sr.Next()
+		if err == io.EOF {
+			if i != 4 {
+				t.Fatalf("EOF after %d records", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != tr.Packets[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	// Further reads keep returning EOF.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("post-EOF read: %v", err)
+	}
+}
+
+func TestStreamReaderTruncation(t *testing.T) {
+	tr := mkTrace([]int64{0, 400}, []uint16{40, 40})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated record: %v", err)
+	}
+}
+
+func TestStreamReaderBadHeader(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("short"))); !errors.Is(err, ErrFormat) {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, headerLen)
+	if _, err := NewStreamReader(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+		t.Error("zero header accepted")
+	}
+}
+
+func TestStreamWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.nstr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(733000000, 0).UTC()
+	sw, err := NewStreamWriter(f, start, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Packet{
+		{Time: 0, Size: 40, Protocol: packet.ProtoTCP},
+		{Time: 400, Size: 552, Protocol: packet.ProtoTCP},
+		{Time: 1200, Size: 28, Protocol: packet.ProtoICMP},
+	}
+	for _, p := range want {
+		if err := sw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The patched header must make the file readable by the batch
+	// reader.
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got, err := Read(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.ClockUS != 400 || !got.Start.Equal(start) {
+		t.Fatalf("read back: %+v", got)
+	}
+	for i := range want {
+		if got.Packets[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestStreamWriterDoubleClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.nstr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := NewStreamWriter(f, time.Unix(0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := sw.Write(Packet{}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := mkTrace([]int64{0, 400, 800}, []uint16{40, 552, 40})
+	small := tr.Filter(func(p Packet) bool { return p.Size < 100 })
+	if small.Len() != 2 {
+		t.Fatalf("filtered len = %d", small.Len())
+	}
+	if small.Packets[1].Time != 800 {
+		t.Fatal("wrong packets kept")
+	}
+	// Original untouched.
+	if tr.Len() != 3 {
+		t.Fatal("filter mutated source")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := mkTrace([]int64{0, 1000, 2000}, []uint16{1, 2, 3})
+	b := mkTrace([]int64{500, 1000, 3000}, []uint16{4, 5, 6})
+	m := Merge(a, b)
+	if m.Len() != 6 {
+		t.Fatalf("merged len = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tie at t=1000 keeps a's packet (size 2) before b's (size 5).
+	if m.Packets[2].Size != 2 || m.Packets[3].Size != 5 {
+		t.Fatalf("tie order wrong: %v %v", m.Packets[2].Size, m.Packets[3].Size)
+	}
+	// Merging with empty is identity.
+	e := Merge(a, &Trace{})
+	if e.Len() != a.Len() {
+		t.Fatal("merge with empty wrong")
+	}
+}

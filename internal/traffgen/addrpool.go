@@ -1,0 +1,136 @@
+package traffgen
+
+import (
+	"math"
+
+	"netsample/internal/dist"
+	"netsample/internal/packet"
+)
+
+// addressPool generates plausible 1993-style source/destination address
+// pairs: sources are hosts in the SDSC environment (the class B
+// 132.249/16 plus a handful of neighboring campus networks routed
+// through the FDDI entrance), destinations are hosts scattered across
+// many remote networks with a Zipf-like popularity law, so the ARTS
+// source-destination matrix has the paper's character — a few heavy
+// pairs and a long tail of tiny ones.
+type addressPool struct {
+	srcHosts []packet.Addr
+	dstHosts []packet.Addr
+	srcPick  *zipf
+	dstPick  *zipf
+}
+
+// zipf draws indices in [0, n) with probability proportional to
+// 1/(i+1)^s, via precomputed cumulative weights.
+type zipf struct {
+	cum   []float64
+	total float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	z := &zipf{cum: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s > 0 {
+			w = 1.0 / math.Pow(float64(i+1), s)
+		}
+		z.total += w
+		z.cum[i] = z.total
+	}
+	return z
+}
+
+func (z *zipf) draw(r *dist.RNG) int {
+	u := r.Float64() * z.total
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// newAddressPool builds the host populations for a measurement
+// environment.
+func newAddressPool(profile Profile, r *dist.RNG) *addressPool {
+	p := &addressPool{}
+	// "Local" networks: the traffic sources behind the measured link.
+	// SDSC aggregates a campus handful; FIX-West, an interexchange
+	// point, aggregates far more networks with a flatter popularity law.
+	localNets := []packet.Addr{
+		{132, 249, 0, 0},  // SDSC
+		{128, 54, 0, 0},   // UCSD
+		{192, 31, 21, 0},  // campus class C
+		{192, 101, 10, 0}, // campus class C
+		{130, 191, 0, 0},  // regional class B
+	}
+	hostsPerLocal := 24
+	srcZipf := 0.8
+	if profile == ProfileFIXWest {
+		hostsPerLocal = 8
+		srcZipf = 0.5 // flatter: no single dominant site
+		for i := 0; i < 35; i++ {
+			var net packet.Addr
+			if i%3 == 0 {
+				net = packet.Addr{byte(128 + r.IntN(63)), byte(1 + r.IntN(250)), 0, 0}
+			} else {
+				net = packet.Addr{byte(192 + r.IntN(31)), byte(r.IntN(250)), byte(1 + r.IntN(250)), 0}
+			}
+			localNets = append(localNets, net)
+		}
+	}
+	for _, net := range localNets {
+		for h := 0; h < hostsPerLocal; h++ {
+			a := net
+			if a[0] < 192 { // class B: vary third and fourth octet
+				a[2] = byte(1 + r.IntN(250))
+				a[3] = byte(1 + r.IntN(250))
+			} else { // class C: vary fourth octet
+				a[3] = byte(1 + r.IntN(250))
+			}
+			p.srcHosts = append(p.srcHosts, a)
+		}
+	}
+	// Remote networks: a spread of class A/B/C destinations.
+	const remoteNets = 140
+	const hostsPerRemote = 3
+	for i := 0; i < remoteNets; i++ {
+		var net packet.Addr
+		switch r.IntN(10) {
+		case 0, 1: // class A nets (e.g. 18/8 MIT, 26/8 DDN)
+			net = packet.Addr{byte(10 + r.IntN(110)), 0, 0, 0}
+		case 2, 3, 4, 5: // class B
+			net = packet.Addr{byte(128 + r.IntN(63)), byte(1 + r.IntN(250)), 0, 0}
+		default: // class C
+			net = packet.Addr{byte(192 + r.IntN(31)), byte(r.IntN(250)), byte(1 + r.IntN(250)), 0}
+		}
+		for h := 0; h < hostsPerRemote; h++ {
+			a := net
+			a[3] = byte(1 + r.IntN(250))
+			if a[0] < 128 {
+				a[1], a[2] = byte(r.IntN(250)), byte(r.IntN(250))
+			} else if a[0] < 192 {
+				a[2] = byte(r.IntN(250))
+			}
+			p.dstHosts = append(p.dstHosts, a)
+		}
+	}
+	p.srcPick = newZipf(len(p.srcHosts), srcZipf)
+	p.dstPick = newZipf(len(p.dstHosts), 1.0)
+	return p
+}
+
+// pair draws a source/destination host pair for a new flow.
+func (p *addressPool) pair(r *dist.RNG) (src, dst packet.Addr) {
+	return p.srcHosts[p.srcPick.draw(r)], p.dstHosts[p.dstPick.draw(r)]
+}
+
+// ephemeralPort draws a client-side port.
+func ephemeralPort(r *dist.RNG) uint16 {
+	return uint16(1024 + r.IntN(4000))
+}

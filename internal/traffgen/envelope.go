@@ -1,0 +1,134 @@
+package traffgen
+
+import (
+	"math"
+
+	"netsample/internal/dist"
+)
+
+// EnvelopeConfig describes the slowly-varying intensity process that
+// makes the synthetic traffic non-stationary, as real backbone traffic
+// is (the paper: "the processes are not time-homogeneous"). The envelope
+// is a lognormal AR(1) process sampled once per EpochSeconds, optionally
+// with a deterministic linear trend across the trace.
+type EnvelopeConfig struct {
+	// Sigma is the standard deviation of the log-intensity. Zero yields
+	// a flat (stationary) envelope.
+	Sigma float64
+	// Rho is the AR(1) correlation between consecutive epochs, in
+	// [0, 1). Higher values give slower load swings.
+	Rho float64
+	// EpochSeconds is the envelope sampling period; zero defaults to 30 s.
+	EpochSeconds int
+	// TrendPerHour adds a deterministic linear drift to the intensity:
+	// +0.2 means offered load rises 20% across the trace, the "linear
+	// trend" population of Section 5's stratified-vs-systematic theory.
+	TrendPerHour float64
+}
+
+// envelope holds the realized per-epoch relative intensities (normalized
+// to mean 1) and their cumulative sum for sampling flow start times.
+// Realization is deferred until the trace duration is known.
+type envelope struct {
+	cfg     EnvelopeConfig
+	rng     *dist.RNG
+	epochUS int64
+	weights []float64
+	cum     []float64
+	total   float64
+}
+
+// newEnvelope prepares an intensity process; weights are realized on
+// first use, when the trace duration is known.
+func newEnvelope(cfg EnvelopeConfig, r *dist.RNG) *envelope {
+	epoch := cfg.EpochSeconds
+	if epoch <= 0 {
+		epoch = 30
+	}
+	return &envelope{cfg: cfg, rng: r, epochUS: int64(epoch) * 1e6}
+}
+
+// ensure realizes the per-epoch weights for a trace of durUS microseconds.
+func (e *envelope) ensure(durUS int64) {
+	if e.weights != nil {
+		return
+	}
+	n := int((durUS + e.epochUS - 1) / e.epochUS)
+	if n < 1 {
+		n = 1
+	}
+	e.weights = make([]float64, n)
+	sigma := e.cfg.Sigma
+	rho := e.cfg.Rho
+	if rho < 0 {
+		rho = 0
+	}
+	if rho >= 1 {
+		rho = 0.999
+	}
+	// AR(1) in log space with stationary standard deviation sigma.
+	innov := sigma * math.Sqrt(1-rho*rho)
+	x := sigma * e.rng.NormFloat64()
+	var sum float64
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			x = rho*x + innov*e.rng.NormFloat64()
+		}
+		trend := 1 + e.cfg.TrendPerHour*(float64(i)/float64(n)-0.5)
+		if trend < 0.05 {
+			trend = 0.05
+		}
+		e.weights[i] = math.Exp(x-sigma*sigma/2) * trend
+		sum += e.weights[i]
+	}
+	// Normalize to mean exactly 1 so TargetPPS is preserved.
+	mean := sum / float64(n)
+	e.cum = make([]float64, n)
+	e.total = 0
+	for i := range e.weights {
+		e.weights[i] /= mean
+		e.total += e.weights[i]
+		e.cum[i] = e.total
+	}
+}
+
+// sampleStart draws a flow start time in [0, durUS) with probability
+// proportional to the envelope intensity.
+func (e *envelope) sampleStart(r *dist.RNG, durUS int64) int64 {
+	e.ensure(durUS)
+	if len(e.weights) == 1 {
+		return r.Int64N(durUS)
+	}
+	u := r.Float64() * e.total
+	lo, hi := 0, len(e.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := int64(lo) * e.epochUS
+	span := e.epochUS
+	if start+span > durUS {
+		span = durUS - start
+	}
+	if span <= 0 { // defensive: final epoch clipped to nothing
+		return durUS - 1
+	}
+	return start + r.Int64N(span)
+}
+
+// intensity returns the relative intensity at time tUS (mean ≈ 1).
+func (e *envelope) intensity(tUS, durUS int64) float64 {
+	e.ensure(durUS)
+	i := int(tUS / e.epochUS)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.weights) {
+		i = len(e.weights) - 1
+	}
+	return e.weights[i]
+}

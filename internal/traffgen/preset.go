@@ -1,0 +1,85 @@
+package traffgen
+
+import (
+	"sync"
+	"time"
+
+	"netsample/internal/trace"
+)
+
+// NSFNETHour returns the calibrated configuration for the study's parent
+// population: one hour of SDSC→E-NSS traffic starting 13:00 on
+// 23 March 1993, captured with a 400 µs clock, averaging ≈424 packets
+// per second (≈1.5 M packets), with the Table 2/Table 3 distributional
+// character.
+func NSFNETHour() Config {
+	return Config{
+		Seed:      0x53445343_1993, // "SDSC" 1993
+		Duration:  time.Hour,
+		ClockUS:   400,
+		Start:     time.Date(1993, time.March, 23, 13, 0, 0, 0, time.UTC),
+		TargetPPS: 424,
+		Envelope: EnvelopeConfig{
+			Sigma:        0.12,
+			Rho:          0.985,
+			EpochSeconds: 15,
+		},
+	}
+}
+
+// SmallTrace returns a fast two-minute configuration with the same
+// distributional character, for tests and examples that do not need the
+// full hour.
+func SmallTrace(seed uint64) Config {
+	cfg := NSFNETHour()
+	cfg.Seed = seed
+	cfg.Duration = 2 * time.Minute
+	return cfg
+}
+
+// FIXWest returns the configuration for the paper's preliminary data
+// set (footnote 3): the FIX-West interexchange point at Moffett Field.
+// Aggregation is broader (many source networks, flatter popularity),
+// the application mix leans more toward transit bulk and news, and the
+// offered rate is higher; the paper reports that sampling results on
+// this environment were "quite similar" to the E-NSS data, which the
+// ext-fixwest experiment verifies.
+func FIXWest() Config {
+	return Config{
+		Seed:      0xF16_3E57,
+		Profile:   ProfileFIXWest,
+		Duration:  time.Hour,
+		ClockUS:   400,
+		Start:     time.Date(1993, time.February, 10, 13, 0, 0, 0, time.UTC),
+		TargetPPS: 610,
+		Envelope: EnvelopeConfig{
+			Sigma:        0.14,
+			Rho:          0.98,
+			EpochSeconds: 15,
+		},
+		Mix: Mix{
+			Telnet:      0.14,
+			Ack:         0.28,
+			Bulk:        0.36,
+			Transaction: 0.11,
+			Mail:        0.10,
+			ICMP:        0.01,
+		},
+	}
+}
+
+var (
+	hourOnce  sync.Once
+	hourTrace *trace.Trace
+	hourErr   error
+)
+
+// Hour returns the shared, lazily generated parent-population trace for
+// the NSFNETHour configuration. The trace is generated once per process
+// and must be treated as read-only by callers.
+func Hour() (*trace.Trace, error) {
+	hourOnce.Do(func() {
+		hourTrace, hourErr = Generate(NSFNETHour())
+	})
+	return hourTrace, hourErr
+}

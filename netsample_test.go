@@ -1,0 +1,127 @@
+package netsample
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as README documents
+// it, on the fast two-minute population.
+
+func facadeTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := Generate(SmallConfig(4711))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tr := facadeTrace(t)
+	ev, err := NewSizeEvaluator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Systematic(50).Select(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := ev.Phi(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi < 0 || phi > 0.2 {
+		t.Fatalf("phi = %v, expected a small score for 1-in-50", phi)
+	}
+}
+
+func TestFacadeSamplers(t *testing.T) {
+	tr := facadeTrace(t)
+	r := NewRNG(1)
+	samplers := []Sampler{
+		Systematic(100),
+		SystematicAt(100, 37),
+		Stratified(100),
+		Random(100),
+	}
+	st, err := SystematicTimer(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := StratifiedTimer(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplers = append(samplers, st, rt)
+	for _, s := range samplers {
+		idx, err := s.Select(tr, r.Split())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(idx) == 0 {
+			t.Fatalf("%s selected nothing", s.Name())
+		}
+		// Roughly 1% of the population.
+		frac := float64(len(idx)) / float64(tr.Len())
+		if frac < 0.004 || frac > 0.02 {
+			t.Errorf("%s fraction = %v, want ≈0.01", s.Name(), frac)
+		}
+	}
+}
+
+func TestFacadeInterarrivalEvaluator(t *testing.T) {
+	tr := facadeTrace(t)
+	ev, err := NewInterarrivalEvaluator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Target() != TargetInterarrival {
+		t.Fatal("wrong target")
+	}
+	idx, err := Stratified(64).Select(tr, NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ev.Score(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero Report
+	if rep == zero {
+		t.Fatal("empty report")
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	tr := facadeTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip %d != %d", got.Len(), tr.Len())
+	}
+}
+
+func TestFacadeSampleSize(t *testing.T) {
+	// The paper's worked example.
+	n, err := SampleSizeForMean(232, 236, 5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1587 || n > 1593 {
+		t.Fatalf("n = %d, want ≈1590", n)
+	}
+}
+
+func TestFacadeDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Duration != Hour || cfg.TargetPPS != 424 || cfg.ClockUS != 400 {
+		t.Fatalf("unexpected default config: %+v", cfg)
+	}
+}
