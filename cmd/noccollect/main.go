@@ -39,7 +39,7 @@ func main() {
 	c := collect.NewCollector()
 
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
-		start := time.Now()
+		start := time.Now() //nslint:allow noclock operator-facing wall-clock cycle timestamp in a CLI
 		results := c.PollAll(addrs)
 		view, err := collect.Aggregate(results)
 		if err != nil {

@@ -1,0 +1,118 @@
+// Command nslint runs the netsample static-analysis rule set over module
+// packages. It enforces the determinism and concurrency invariants the
+// reproduction depends on: no stdlib randomness outside internal/dist,
+// no naked wall-clock reads, no cross-goroutine RNG sharing, no exact
+// float comparisons, no silently dropped module errors.
+//
+// Usage:
+//
+//	nslint [-json] [-rules list] pattern...
+//
+// Patterns follow go-tool convention: ./... for the whole module,
+// ./internal/... for a subtree, ./internal/dist for one package.
+// Exit status is 0 when clean, 1 when findings were reported, 2 on a
+// usage or load error. Suppress a finding in place with
+// `//nslint:allow <rule> <reason>` on the offending line or the line
+// above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netsample/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("nslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nslint [-json] [-rules list] pattern...\n\nrules:\n")
+		for _, r := range analysis.DefaultRules("netsample") {
+			fmt.Fprintf(stderr, "  %-10s %s\n", r.Name(), r.Doc())
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "nslint: %v\n", err)
+		return 2
+	}
+	rules := analysis.DefaultRules(loader.ModulePath)
+	if *ruleList != "" {
+		rules, err = selectRules(rules, *ruleList)
+		if err != nil {
+			fmt.Fprintf(stderr, "nslint: %v\n", err)
+			return 2
+		}
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "nslint: %v\n", err)
+		return 2
+	}
+	diags := analysis.Run(pkgs, rules)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "nslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, rel(loader.ModuleRoot, d))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectRules filters the rule set down to the named subset.
+func selectRules(all []analysis.Rule, list string) ([]analysis.Rule, error) {
+	byName := make(map[string]analysis.Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []analysis.Rule
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// rel shortens absolute file paths to module-relative ones for readable
+// terminal output.
+func rel(root string, d analysis.Diagnostic) string {
+	if strings.HasPrefix(d.File, root+string(os.PathSeparator)) {
+		d.File = d.File[len(root)+1:]
+	}
+	return d.String()
+}

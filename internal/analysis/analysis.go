@@ -1,0 +1,158 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// netsample module, built on go/parser, go/ast and go/types. It exists
+// because every experimental result in this reproduction depends on
+// bit-for-bit determinism: traces, samples and φ-scores must regenerate
+// identically from a 64-bit seed. The rules in this package machine-check
+// the invariants that make that true — all randomness flows through
+// internal/dist.RNG, wall-clock reads go through injectable clock seams,
+// RNGs stay confined to one goroutine, floats are never compared with ==,
+// and errors from module functions are never silently discarded.
+//
+// Findings can be suppressed case-by-case with an annotation on the
+// offending line or the line directly above it:
+//
+//	//nslint:allow <rule> <reason>
+//
+// The reason is mandatory; an allow comment without one is itself
+// reported. The framework is exposed through cmd/nslint (CLI) and the
+// module's tier-1 lint_test.go, so `go test ./...` fails on any new
+// violation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix is the comment prefix that suppresses a diagnostic.
+const AllowPrefix = "//nslint:allow"
+
+// Diagnostic is one rule finding at a concrete source position.
+type Diagnostic struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Message string         `json:"message"`
+}
+
+// String renders the conventional file:line:col: message [rule] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Rule)
+}
+
+// Rule is one static-analysis check. Check inspects a fully type-checked
+// package and reports findings through the Pass.
+type Rule interface {
+	// Name is the short identifier used in diagnostics and allow comments.
+	Name() string
+	// Doc is a one-paragraph description of what the rule enforces and why.
+	Doc() string
+	// Check runs the rule over one package.
+	Check(*Pass)
+}
+
+// Pass carries one (package, rule) run and collects its diagnostics.
+type Pass struct {
+	Pkg   *Package
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.rule,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// allowKey identifies one allow annotation site.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// Run executes every rule over every package and returns the surviving
+// diagnostics sorted by file, line and column. Diagnostics annotated with
+// a well-formed //nslint:allow comment (same line or the line directly
+// above) are suppressed; malformed allow comments — unknown syntax or a
+// missing reason — are reported under the pseudo-rule "nslint" and cannot
+// themselves be suppressed.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	allowed := make(map[allowKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectAllows(pkg.Fset, f, allowed, &diags)
+		}
+		for _, r := range rules {
+			r.Check(&Pass{Pkg: pkg, rule: r.Name(), diags: &diags})
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Rule != "nslint" &&
+			(allowed[allowKey{d.File, d.Line, d.Rule}] ||
+				allowed[allowKey{d.File, d.Line - 1, d.Rule}]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		if kept[i].Col != kept[j].Col {
+			return kept[i].Col < kept[j].Col
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
+	return kept
+}
+
+// collectAllows scans one file's comments for allow annotations. A valid
+// annotation names a rule and gives a non-empty reason; anything else
+// under the nslint: prefix is reported so that a typo cannot silently
+// disable enforcement.
+func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]bool, diags *[]Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "//nslint:") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest, ok := strings.CutPrefix(text, AllowPrefix)
+			if !ok {
+				*diags = append(*diags, Diagnostic{
+					Rule: "nslint", Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("unrecognized nslint directive %q (only %s <rule> <reason> is supported)", text, AllowPrefix),
+				})
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Rule: "nslint", Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("allow annotation needs a rule and a reason: %s <rule> <reason>", AllowPrefix),
+				})
+				continue
+			}
+			allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+		}
+	}
+}

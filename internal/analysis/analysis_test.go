@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadCorpus loads one testdata/src package through the module loader,
+// giving it its natural import path under internal/ so the scoped rules
+// apply.
+func loadCorpus(t *testing.T, loader *Loader, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	ip := loader.ModulePath + "/internal/analysis/testdata/src/" + name
+	pkg, err := loader.LoadDir(dir, ip)
+	if err != nil {
+		t.Fatalf("load corpus %s: %v", name, err)
+	}
+	return pkg
+}
+
+// wantKey locates one expectation site.
+type wantKey struct {
+	file string
+	line int
+}
+
+// parseWants extracts `// want "re"` / `// want `+"`re`"+“ expectation
+// comments from the package's files. Several expectations may share one
+// line.
+func parseWants(t *testing.T, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[idx+len("want "):])
+				for rest != "" {
+					var quote byte = rest[0]
+					if quote != '"' && quote != '`' {
+						t.Fatalf("%s:%d: malformed want expectation %q", pos.Filename, pos.Line, c.Text)
+					}
+					end := strings.IndexByte(rest[1:], quote)
+					if end < 0 {
+						t.Fatalf("%s:%d: unterminated want expectation %q", pos.Filename, pos.Line, c.Text)
+					}
+					re, err := regexp.Compile(rest[1 : 1+end])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					out[key] = append(out[key], re)
+					rest = strings.TrimSpace(rest[2+end:])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenCorpus runs the full rule set over every corpus package and
+// checks the diagnostics against the `// want` expectations: every
+// expectation must be matched on its line, and no diagnostic may appear
+// without one.
+func TestGoldenCorpus(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			pkg := loadCorpus(t, loader, e.Name())
+			wants := parseWants(t, pkg)
+			diags := Run([]*Package{pkg}, DefaultRules(loader.ModulePath))
+			matched := make(map[wantKey][]bool)
+			for key, res := range wants {
+				matched[key] = make([]bool, len(res))
+			}
+		diagLoop:
+			for _, d := range diags {
+				key := wantKey{d.File, d.Line}
+				for i, re := range wants[key] {
+					if !matched[key][i] && re.MatchString(d.Message) {
+						matched[key][i] = true
+						continue diagLoop
+					}
+				}
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+			for key, res := range wants {
+				for i, ok := range matched[key] {
+					if !ok {
+						t.Errorf("%s:%d: expected diagnostic matching %q was not reported",
+							key.file, key.line, wants[key][i])
+					}
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+// writeTempPkg materializes one corpus file in a temp dir and loads it.
+func writeTempPkg(t *testing.T, loader *Loader, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, loader.ModulePath+"/internal/tmpcorpus")
+	if err != nil {
+		t.Fatalf("load temp corpus: %v", err)
+	}
+	return pkg
+}
+
+// TestAllowWithoutReasonIsReported checks that a reasonless allow
+// annotation is itself a finding and suppresses nothing.
+func TestAllowWithoutReasonIsReported(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := writeTempPkg(t, loader, `package tmpcorpus
+
+func Eq(a, b float64) bool {
+	//nslint:allow floateq
+	return a == b
+}
+`)
+	diags := Run([]*Package{pkg}, DefaultRules(loader.ModulePath))
+	var sawBadAllow, sawFloatEq bool
+	for _, d := range diags {
+		switch d.Rule {
+		case "nslint":
+			sawBadAllow = true
+		case "floateq":
+			sawFloatEq = true
+		}
+	}
+	if !sawBadAllow {
+		t.Error("reasonless allow annotation was not reported")
+	}
+	if !sawFloatEq {
+		t.Error("reasonless allow annotation suppressed the floateq finding")
+	}
+}
+
+// TestUnknownDirectiveIsReported checks that a typoed nslint directive
+// cannot silently disable enforcement.
+func TestUnknownDirectiveIsReported(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := writeTempPkg(t, loader, `package tmpcorpus
+
+func Eq(a, b float64) bool {
+	//nslint:alow floateq typo in the directive name
+	return a == b
+}
+`)
+	diags := Run([]*Package{pkg}, DefaultRules(loader.ModulePath))
+	var sawDirective bool
+	for _, d := range diags {
+		if d.Rule == "nslint" && strings.Contains(d.Message, "unrecognized nslint directive") {
+			sawDirective = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("typoed directive was not reported; got %v", diags)
+	}
+}
+
+// TestDiagnosticString pins the rendered diagnostic format the CLI and
+// CI logs rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "noclock", File: "x/y.go", Line: 3, Col: 7, Message: "m"}
+	want := "x/y.go:3:7: m [noclock]"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(d) != want {
+		t.Errorf("Sprint mismatch")
+	}
+}
+
+// TestPatternNormalization pins the CLI pattern grammar.
+func TestPatternNormalization(t *testing.T) {
+	l := &Loader{ModulePath: "netsample"}
+	cases := []struct {
+		pat     string
+		ip      string
+		subtree bool
+	}{
+		{"./...", "netsample", true},
+		{".", "netsample", false},
+		{"all", "netsample", true},
+		{"./internal/dist", "netsample/internal/dist", false},
+		{"internal/dist", "netsample/internal/dist", false},
+		{"netsample/internal/dist", "netsample/internal/dist", false},
+		{"./internal/...", "netsample/internal", true},
+	}
+	for _, c := range cases {
+		ip, subtree := l.normalizePattern(c.pat)
+		if ip != c.ip || subtree != c.subtree {
+			t.Errorf("normalizePattern(%q) = (%q, %v), want (%q, %v)",
+				c.pat, ip, subtree, c.ip, c.subtree)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errDropRule flags expression statements that call a function defined
+// in this module and silently discard an error result. A dropped error
+// in the experiment pipeline means a truncated trace or failed poll is
+// mistaken for valid data. Intentional drops must be made explicit with
+// `_ = f()` or annotated; defer statements are exempt (deferred Close on
+// a read path is idiomatic).
+type errDropRule struct{ modulePath string }
+
+func (r *errDropRule) Name() string { return "errdrop" }
+
+func (r *errDropRule) Doc() string {
+	return "flag call statements that discard an error result of a function defined " +
+		"in this module; handle the error or assign it to _ explicitly"
+}
+
+func (r *errDropRule) Check(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || tv.IsType() || tv.IsBuiltin() {
+				return true // conversion or builtin, not a call we care about
+			}
+			sig, ok := tv.Type.Underlying().(*types.Signature)
+			if !ok || !returnsError(sig) {
+				return true
+			}
+			obj := calleeObject(info, call)
+			// A nil object means the callee is a literal defined right
+			// here, which is in-module by construction.
+			if obj != nil && !isModulePkg(r.modulePath, obj.Pkg()) {
+				return true
+			}
+			name := types.ExprString(call.Fun)
+			pass.Reportf(stmt.Pos(),
+				"error result of %s is silently discarded; handle it or write `_ = %s(...)`", name, name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of sig is the built-in error
+// type.
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floatEqRule flags == and != between floating-point operands. Exact
+// float equality is almost never what a statistics codebase means: two
+// mathematically equal quantities computed along different paths differ
+// in their last ulps, so such comparisons introduce silent
+// platform-dependent behavior. Two idioms are exempt: comparison against
+// an exact constant zero (a float is exactly 0.0 iff it was assigned
+// 0.0, the sentinel idiom used throughout internal/stats), and
+// self-comparison (x != x is the standard NaN test).
+type floatEqRule struct{}
+
+func (r *floatEqRule) Name() string { return "floateq" }
+
+func (r *floatEqRule) Doc() string {
+	return "flag ==/!= between floating-point operands except constant-zero sentinels " +
+		"and x != x NaN checks; compare with an explicit tolerance instead"
+}
+
+func (r *floatEqRule) Check(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, be.X) && !isFloatOperand(info, be.Y) {
+				return true
+			}
+			if isConstZero(info, be.X) || isConstZero(info, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x / x == x: the NaN idiom
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison is exact; use an explicit tolerance (or annotate the sentinel)", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloatOperand reports whether e has floating-point type (typed or
+// untyped).
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to zero.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

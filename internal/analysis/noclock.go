@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noClockRule forbids naked time.Now() and time.Since() calls inside
+// internal/ and cmd/. Wall-clock reads make runs irreproducible and
+// tests flaky; components that need the current time must take an
+// injectable clock seam (a Clock func() time.Time field defaulting to
+// time.Now), and the single defaulting call site carries an explicit
+// //nslint:allow noclock annotation.
+type noClockRule struct{ modulePath string }
+
+func (r *noClockRule) Name() string { return "noclock" }
+
+func (r *noClockRule) Doc() string {
+	return "forbid naked time.Now()/time.Since() in internal/ and cmd/; " +
+		"inject a Clock func() time.Time seam instead"
+}
+
+func (r *noClockRule) Check(pass *Pass) {
+	if !inEnforcedTree(r.modulePath, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(pass.Pkg.Info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(),
+					"naked time.%s() is nondeterministic; read the time through an injected Clock func() time.Time", fn.Name())
+			}
+			return true
+		})
+	}
+}

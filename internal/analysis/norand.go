@@ -1,0 +1,41 @@
+package analysis
+
+import "strconv"
+
+// noRandRule forbids the standard-library randomness packages inside
+// internal/ and cmd/. All stochastic behavior in the reproduction must
+// flow through internal/dist.RNG so that a single 64-bit seed fully
+// determines every trace, sample and score; math/rand's global state and
+// crypto/rand's entropy source both break run-to-run reproducibility.
+type noRandRule struct{ modulePath string }
+
+var forbiddenRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func (r *noRandRule) Name() string { return "norand" }
+
+func (r *noRandRule) Doc() string {
+	return "forbid math/rand, math/rand/v2 and crypto/rand in internal/ and cmd/; " +
+		"all randomness must come from a seeded internal/dist.RNG"
+}
+
+func (r *noRandRule) Check(pass *Pass) {
+	if !inEnforcedTree(r.modulePath, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if forbiddenRandImports[path] {
+				pass.Reportf(imp.Pos(),
+					"import of %s breaks seeded determinism; draw randomness from a *dist.RNG instead", path)
+			}
+		}
+	}
+}

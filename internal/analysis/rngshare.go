@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// rngShareRule enforces the single-goroutine contract of dist.RNG. The
+// generator is documented "not safe for concurrent use"; sharing one
+// stream across goroutines is both a data race and a determinism hazard,
+// because the interleaving of draws then depends on scheduling. The rule
+// flags (a) a *dist.RNG variable captured by a `go func() {...}` literal
+// and (b) the same *dist.RNG variable passed as an argument to more than
+// one goroutine launched in the same function. RNG.Split() is the
+// sanctioned escape: derive an independent child stream per goroutine.
+type rngShareRule struct{ modulePath string }
+
+func (r *rngShareRule) Name() string { return "rngshare" }
+
+func (r *rngShareRule) Doc() string {
+	return "flag a *dist.RNG captured by a go func literal or passed to more than one " +
+		"goroutine in the same function; use RNG.Split() for per-goroutine streams"
+}
+
+func (r *rngShareRule) Check(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			r.checkFunc(pass, info, fd.Body)
+		}
+	}
+}
+
+// checkFunc inspects one function body: every go statement inside it
+// (including those nested in literals) is examined for RNG captures, and
+// RNG variables handed as arguments to goroutines are counted across the
+// whole body.
+func (r *rngShareRule) checkFunc(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	passed := make(map[*types.Var][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			r.checkCapture(pass, info, lit)
+		}
+		for _, arg := range g.Call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && isDistRNGPtr(r.modulePath, v.Type()) {
+					passed[v] = append(passed[v], id.Pos())
+				}
+			}
+		}
+		return true
+	})
+	for v, sites := range passed {
+		if len(sites) > 1 {
+			pass.Reportf(sites[1],
+				"*dist.RNG %s is passed to %d goroutines in this function; RNG is single-goroutine, give each goroutine its own stream via Split()",
+				v.Name(), len(sites))
+		}
+	}
+}
+
+// checkCapture reports uses, inside the goroutine literal, of RNG-typed
+// variables (including struct fields reached through a captured receiver)
+// that are declared outside the literal.
+func (r *rngShareRule) checkCapture(pass *Pass, info *types.Info, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !isDistRNGPtr(r.modulePath, v.Type()) {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			pass.Reportf(id.Pos(),
+				"*dist.RNG %s is captured by a goroutine; RNG is single-goroutine, derive a child stream with Split() before the go statement",
+				v.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,30 @@
+// Package allow is the nslint golden corpus for the //nslint:allow
+// annotation: a well-formed annotation suppresses exactly its named
+// rule, on its own line or trailing the finding.
+package allow
+
+// Suppressed carries a correct annotation on the line above: no
+// finding.
+func Suppressed(a, b float64) bool {
+	//nslint:allow floateq corpus: deliberate exact comparison
+	return a == b
+}
+
+// Trailing carries a correct annotation on the same line: no finding.
+func Trailing(a, b float64) bool {
+	return a == b //nslint:allow floateq corpus: deliberate exact comparison
+}
+
+// WrongRule names a different rule, so the floateq finding survives.
+func WrongRule(a, b float64) bool {
+	//nslint:allow errdrop corpus: names the wrong rule
+	return a == b // want `floating-point == comparison is exact`
+}
+
+// FarAway is annotated two lines up, which is out of range: the
+// annotation must sit on the finding's line or directly above it.
+func FarAway(a, b float64) bool {
+	//nslint:allow floateq corpus: too far from the finding
+
+	return a == b // want `floating-point == comparison is exact`
+}

@@ -1,0 +1,16 @@
+// Package errdrop is the nslint golden corpus for the errdrop rule.
+package errdrop
+
+import "errors"
+
+// Fallible is an in-module function with an error result.
+func Fallible() error { return errors.New("boom") }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 0, errors.New("boom") }
+
+// Dropped discards errors from in-module calls.
+func Dropped() {
+	Fallible() // want `error result of Fallible is silently discarded`
+	Pair()     // want `error result of Pair is silently discarded`
+}

@@ -1,0 +1,16 @@
+package errdrop
+
+import "fmt"
+
+// Handled deals with every in-module error explicitly.
+func Handled() error {
+	if err := Fallible(); err != nil {
+		return err
+	}
+	_ = Fallible()   // explicit discard is visible in review, so it is allowed
+	defer Fallible() // deferred calls are exempt (idiomatic Close-on-read)
+	// Out-of-module calls are not this rule's business even when they
+	// return an error.
+	fmt.Println("done")
+	return nil
+}

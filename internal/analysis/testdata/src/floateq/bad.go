@@ -1,0 +1,18 @@
+// Package floateq is the nslint golden corpus for the floateq rule.
+package floateq
+
+// Same compares two computed floats exactly.
+func Same(a, b float64) bool {
+	return a == b // want `floating-point == comparison is exact`
+}
+
+// Different compares two computed floats exactly with !=.
+func Different(a, b float32) bool {
+	return a != b // want `floating-point != comparison is exact`
+}
+
+// MixedConst compares against a non-zero constant, which is still
+// exact.
+func MixedConst(a float64) bool {
+	return a == 0.25 // want `floating-point == comparison is exact`
+}

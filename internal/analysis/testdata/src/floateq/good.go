@@ -1,0 +1,23 @@
+package floateq
+
+import "math"
+
+// ZeroSentinel checks the exact-zero sentinel, which is exempt.
+func ZeroSentinel(a float64) bool {
+	return a == 0
+}
+
+// IsNaN uses the self-comparison NaN idiom, which is exempt.
+func IsNaN(a float64) bool {
+	return a != a
+}
+
+// Close is the sanctioned comparison: an explicit tolerance.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}
+
+// Ints compares integers, which is always fine.
+func Ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,14 @@
+// Package noclock is the nslint golden corpus for the noclock rule.
+package noclock
+
+import "time"
+
+// Stamp reads the wall clock directly, which the rule forbids.
+func Stamp() time.Time {
+	return time.Now() // want `naked time\.Now\(\) is nondeterministic`
+}
+
+// Age reads elapsed wall time directly.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `naked time\.Since\(\) is nondeterministic`
+}

@@ -1,0 +1,20 @@
+package noclock
+
+import "time"
+
+// Stamper is the sanctioned pattern: an injectable clock seam. Holding
+// the time.Now function value (without calling it) is allowed.
+type Stamper struct {
+	Clock func() time.Time
+}
+
+// NewStamper defaults the seam to the real clock by reference, not by
+// call.
+func NewStamper() *Stamper {
+	return &Stamper{Clock: time.Now}
+}
+
+// Stamp reads the injected clock.
+func (s *Stamper) Stamp() time.Time {
+	return s.Clock()
+}

@@ -1,0 +1,14 @@
+// Package norand is the nslint golden corpus for the norand rule.
+package norand
+
+import (
+	"crypto/rand"     // want "import of crypto/rand breaks seeded determinism"
+	mrand "math/rand" // want "import of math/rand breaks seeded determinism"
+)
+
+// Draw uses the forbidden sources so the imports are live.
+func Draw() int {
+	var b [1]byte
+	_, _ = rand.Read(b[:])
+	return mrand.Intn(10) + int(b[0])
+}

@@ -1,0 +1,9 @@
+package norand
+
+import "netsample/internal/dist"
+
+// DrawSeeded is the sanctioned pattern: randomness from a seeded
+// dist.RNG.
+func DrawSeeded(rng *dist.RNG) int {
+	return rng.IntN(10)
+}

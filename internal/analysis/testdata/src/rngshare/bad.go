@@ -1,0 +1,27 @@
+// Package rngshare is the nslint golden corpus for the rngshare rule.
+package rngshare
+
+import (
+	"sync"
+
+	"netsample/internal/dist"
+)
+
+// Captured shares one RNG between the parent and a goroutine.
+func Captured(rng *dist.RNG) float64 {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rng.Float64() // want `\*dist\.RNG rng is captured by a goroutine`
+	}()
+	x := rng.Float64()
+	wg.Wait()
+	return x
+}
+
+// FannedOut hands the same RNG to two goroutines.
+func FannedOut(rng *dist.RNG, work func(*dist.RNG)) {
+	go work(rng)
+	go work(rng) // want `\*dist\.RNG rng is passed to 2 goroutines`
+}

@@ -1,0 +1,19 @@
+package rngshare
+
+import "netsample/internal/dist"
+
+// SplitPerGoroutine is the sanctioned pattern: derive one child stream
+// per goroutine before launching it.
+func SplitPerGoroutine(rng *dist.RNG, work func(*dist.RNG)) {
+	go work(rng.Split())
+	go work(rng.Split())
+}
+
+// OwnedInside creates the RNG inside the goroutine, so nothing is
+// shared.
+func OwnedInside(seed uint64, out chan<- float64) {
+	go func() {
+		rng := dist.NewRNG(seed)
+		out <- rng.Float64()
+	}()
+}

@@ -72,6 +72,7 @@ func (e *Edged) Index(x float64) int {
 	// sort.SearchFloat64s gives the first edge >= x, so adjust for
 	// equality (edge values belong to the bin above the edge).
 	i := sort.SearchFloat64s(e.edges, x)
+	//nslint:allow floateq exact tie-break against a stored edge value, not a computed quantity
 	if i < len(e.edges) && e.edges[i] == x {
 		return i + 1
 	}

@@ -28,6 +28,19 @@ type Agent struct {
 
 	// IOTimeout bounds each read/write on an agent connection.
 	IOTimeout time.Duration
+
+	// Clock supplies the current time for I/O deadlines. Nil means the
+	// real time; tests inject a fake to pin deadline arithmetic.
+	Clock func() time.Time
+}
+
+// now reads the agent's clock. This is the package's sanctioned
+// wall-clock seam; everything else must go through it.
+func (a *Agent) now() time.Time {
+	if a.Clock != nil {
+		return a.Clock()
+	}
+	return time.Now() //nslint:allow noclock default of the injectable Clock seam
 }
 
 // NewAgent creates an agent for the named node with the given object
@@ -120,7 +133,7 @@ func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
 	for {
 		if a.IOTimeout > 0 {
-			_ = conn.SetDeadline(time.Now().Add(a.IOTimeout))
+			_ = conn.SetDeadline(a.now().Add(a.IOTimeout))
 		}
 		msgType, _, err := readFrame(conn)
 		if err != nil {
@@ -144,7 +157,7 @@ func (a *Agent) handle(conn net.Conn) {
 			respType = TypeError
 		}
 		if a.IOTimeout > 0 {
-			_ = conn.SetDeadline(time.Now().Add(a.IOTimeout))
+			_ = conn.SetDeadline(a.now().Add(a.IOTimeout))
 		}
 		if err := writeFrame(conn, respType, payload); err != nil {
 			return

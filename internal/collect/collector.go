@@ -15,6 +15,19 @@ import (
 type Collector struct {
 	// Timeout bounds each agent poll end-to-end.
 	Timeout time.Duration
+
+	// Clock supplies the current time for dial deadlines and cycle
+	// timestamps. Nil means the real time; tests inject a fake.
+	Clock func() time.Time
+}
+
+// now reads the collector's clock, the package's sanctioned wall-clock
+// seam on the NOC side.
+func (c *Collector) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now() //nslint:allow noclock default of the injectable Clock seam
 }
 
 // NewCollector returns a collector with a sensible default timeout.
@@ -45,7 +58,7 @@ func (c *Collector) request(addr string, msgType uint8) (*Report, error) {
 	}
 	defer conn.Close()
 	if c.Timeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(c.Timeout))
+		_ = conn.SetDeadline(c.now().Add(c.Timeout))
 	}
 	if err := writeFrame(conn, msgType, nil); err != nil {
 		return nil, fmt.Errorf("collect: send to %s: %w", addr, err)

@@ -28,7 +28,7 @@ func (c *Collector) RunCycles(ctx context.Context, addrs []string, interval time
 			view, err := Aggregate(results)
 			if err == nil {
 				select {
-				case out <- CycleView{At: time.Now(), View: view}:
+				case out <- CycleView{At: c.now(), View: view}:
 				case <-ctx.Done():
 					return
 				}

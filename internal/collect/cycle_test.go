@@ -58,3 +58,21 @@ func TestRunCyclesSurvivesDeadAgent(t *testing.T) {
 	for range ch {
 	}
 }
+
+func TestInjectedClockStampsCycles(t *testing.T) {
+	a, addr := startAgent(t, "clock-node", arts.T3)
+	a.Record(samplePacket(1), 1)
+	fake := time.Date(1993, time.March, 1, 12, 0, 0, 0, time.UTC)
+	c := NewCollector()
+	c.Clock = func() time.Time { return fake }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := c.RunCycles(ctx, []string{addr}, 50*time.Millisecond)
+	v := <-ch
+	if !v.At.Equal(fake) {
+		t.Fatalf("cycle stamped %v, want injected clock %v", v.At, fake)
+	}
+	cancel()
+	for range ch {
+	}
+}

@@ -20,6 +20,7 @@ func RegIncBeta(a, b, x float64) (float64, error) {
 	if x == 0 {
 		return 0, nil
 	}
+	//nslint:allow floateq exact domain endpoint: the series below diverges at x = 1 exactly
 	if x == 1 {
 		return 1, nil
 	}
@@ -115,6 +116,7 @@ func StudentTQuantile(p, df float64) (float64, error) {
 	if df <= 0 || p <= 0 || p >= 1 || math.IsNaN(p) {
 		return 0, ErrDomain
 	}
+	//nslint:allow floateq exact symmetry point: callers pass 0.5 literally for the median
 	if p == 0.5 {
 		return 0, nil
 	}

@@ -27,9 +27,11 @@ func KolmogorovSmirnov(sample, population []float64) (float64, error) {
 		if p[j] < x {
 			x = p[j]
 		}
+		//nslint:allow floateq exact tie-stepping over stored sorted sample values
 		for i < len(s) && s[i] == x {
 			i++
 		}
+		//nslint:allow floateq exact tie-stepping over stored sorted sample values
 		for j < len(p) && p[j] == x {
 			j++
 		}

@@ -47,6 +47,7 @@ func (h *Histogram) Add(x float64) {
 	default:
 		// Binary search for the bin with Edges[i] <= x < Edges[i+1].
 		i := sort.SearchFloat64s(h.Edges, x)
+		//nslint:allow floateq exact tie-break against a stored edge value, not a computed quantity
 		if i < len(h.Edges) && h.Edges[i] == x {
 			// x sits exactly on edge i: it belongs to bin i.
 			h.Counts[i]++

@@ -1,0 +1,37 @@
+package netsample_test
+
+import (
+	"testing"
+
+	"netsample/internal/analysis"
+)
+
+// TestLintModule is the tier-1 determinism gate: it runs the full nslint
+// rule set over every package of the module, so `go test ./...` fails
+// the moment a stdlib randomness import, a naked wall-clock read, a
+// shared RNG, an exact float comparison or a dropped module error is
+// introduced. Suppressions require an explicit
+// `//nslint:allow <rule> <reason>` at the finding site.
+func TestLintModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint sweep type-checks the whole module; skipped in -short mode")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags := analysis.Run(pkgs, analysis.DefaultRules(loader.ModulePath))
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or annotate intentional sites with `//nslint:allow <rule> <reason>`")
+	}
+}
