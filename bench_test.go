@@ -544,9 +544,52 @@ func BenchmarkEvaluatorScore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ev.Score(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusedReplication measures the fully fused path: streaming
+// systematic selection feeding a worker-local Scorer, the loop the
+// figure sweeps run thousands of times. Steady-state this is 0 allocs/op
+// (pinned by TestReplicationScoringZeroAllocs).
+func BenchmarkFusedReplication(b *testing.B) {
+	tr := benchSmall(b)
+	ev, err := core.NewEvaluator(tr, core.TargetSize, bins.PacketSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := ev.NewScorer()
+	visit := sc.Visit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset()
+		if err := (core.SystematicCount{K: 50, Offset: i % 50}).SelectEach(tr, nil, visit); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sc.Report(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicateParallelFused measures worker-pool replication of a
+// random method over the fused path, the ReplicateParallel hot loop.
+func BenchmarkReplicateParallelFused(b *testing.B) {
+	tr := benchSmall(b)
+	ev, err := core.NewEvaluator(tr, core.TargetSize, bins.PacketSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReplicateParallel(ev, core.SimpleRandom{K: 50}, 32, 7); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,81 @@
+// Command bench runs the repository's canonical benchmark suite
+// (bench_test.go at the module root) via `go test -bench` and writes the
+// results as machine-readable JSON, so the performance trajectory can be
+// recorded commit over commit and diffed in review.
+//
+// Usage:
+//
+//	bench [-bench regex] [-benchtime 1x] [-count 1] [-pkg .] [-o BENCH.json]
+//
+// The output is deliberately free of timestamps and host-volatile noise
+// beyond the cpu/goos/goarch header go test itself reports: the file is
+// meant to be checked in, and git history supplies the dates.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+
+	"netsample/internal/benchjson"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+
+	benchRe := flag.String("bench", ".", "regexp selecting benchmarks to run")
+	benchtime := flag.String("benchtime", "1x", "per-benchmark duration or iteration count")
+	count := flag.Int("count", 1, "number of runs per benchmark")
+	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
+	out := flag.String("o", "BENCH.json", "output file; - writes to stdout")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test",
+		"-run=^$",
+		"-bench="+*benchRe,
+		"-benchmem",
+		"-benchtime="+*benchtime,
+		fmt.Sprintf("-count=%d", *count),
+		*pkg,
+	)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	log.Printf("running %v", cmd.Args)
+	if err := cmd.Run(); err != nil {
+		// Surface whatever go test printed before failing.
+		os.Stderr.Write(stdout.Bytes())
+		log.Fatalf("go test: %v", err)
+	}
+
+	f, err := benchjson.Parse(&stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(f.Benchmarks) == 0 {
+		log.Fatalf("no benchmarks matched %q in %s", *benchRe, *pkg)
+	}
+	f.GoVersion = runtime.Version()
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(f.Benchmarks), *out)
+}

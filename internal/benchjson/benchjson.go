@@ -1,0 +1,137 @@
+// Package benchjson parses the text output of `go test -bench` into a
+// machine-readable structure, so benchmark runs can be recorded as a
+// trajectory (BENCH.json) and compared across commits.
+//
+// The parser understands the standard benchmark line format:
+//
+//	BenchmarkName-8   	     100	  11850934 ns/op	 4520144 B/op	    1520 allocs/op
+//
+// including custom ReportMetric units (e.g. `0.4213 phi-gap`), the
+// GOMAXPROCS `-N` suffix (absent on single-proc hosts), and the
+// goos/goarch/pkg/cpu header lines.
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark function name without the -N procs suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 if the line carried none.
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op measurement, 0 if absent.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the B/op measurement; -1 if the line carried none.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is the allocs/op measurement; -1 if the line carried none.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// MBPerS is the MB/s throughput measurement, 0 if absent.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// Metrics holds any custom units reported via b.ReportMetric.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the parsed output of one `go test -bench` invocation.
+type File struct {
+	// GoVersion is the toolchain that produced the run (filled by the
+	// caller, not parsed from benchmark output).
+	GoVersion string `json:"go_version,omitempty"`
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Pkg       string `json:"pkg,omitempty"`
+	// Benchmarks lists the parsed results in output order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output from r and returns the parsed
+// file. Unrecognized lines (test output, PASS/ok trailers) are skipped;
+// a malformed Benchmark line is an error.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			f.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				f.Benchmarks = append(f.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseLine parses one benchmark result line. Lines that merely start a
+// benchmark (no fields beyond the name, as printed under -v) report
+// ok=false rather than an error.
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil && procs > 0 {
+			b.Procs = procs
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+	}
+	b.Iterations = iters
+	// The remainder is value/unit pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("benchjson: odd measurement fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		val, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("benchjson: bad value %q in %q: %v", rest[i], line, err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		case "MB/s":
+			b.MBPerS = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true, nil
+}

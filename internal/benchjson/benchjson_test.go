@@ -1,0 +1,87 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: netsample
+cpu: AMD EPYC 7B13
+BenchmarkEvaluatorScore-8   	   38240	     31402 ns/op	    1600 B/op	       5 allocs/op
+BenchmarkFigure8Methods   	       2	 884705121 ns/op	     0.42130 phi-gap	432001234 B/op	   15232 allocs/op
+BenchmarkTraceThroughput-8 	      10	 104857600 ns/op	 640.00 MB/s
+PASS
+ok  	netsample	12.345s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.Pkg != "netsample" {
+		t.Fatalf("header parsed wrong: %+v", f)
+	}
+	if f.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu = %q", f.CPU)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(f.Benchmarks))
+	}
+
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkEvaluatorScore" || b.Procs != 8 {
+		t.Fatalf("suffixed name parsed wrong: %+v", b)
+	}
+	if b.Iterations != 38240 || b.NsPerOp != 31402 || b.BytesPerOp != 1600 || b.AllocsPerOp != 5 {
+		t.Fatalf("measurements parsed wrong: %+v", b)
+	}
+
+	// Single-proc hosts print no -N suffix; custom metrics become map entries.
+	b = f.Benchmarks[1]
+	if b.Name != "BenchmarkFigure8Methods" || b.Procs != 1 {
+		t.Fatalf("suffixless name parsed wrong: %+v", b)
+	}
+	if got := b.Metrics["phi-gap"]; got != 0.42130 {
+		t.Fatalf("phi-gap = %v", got)
+	}
+
+	b = f.Benchmarks[2]
+	if b.MBPerS != 640 {
+		t.Fatalf("MB/s = %v", b.MBPerS)
+	}
+	if b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+		t.Fatalf("absent B/op should stay -1: %+v", b)
+	}
+}
+
+func TestParseSkipsBareNames(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkFoo\nBenchmarkFoo-4   	 100	 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Iterations != 100 {
+		t.Fatalf("bare name handling wrong: %+v", f.Benchmarks)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBad   	 xyz	 5 ns/op\n")); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBad   	 10	 5\n")); err == nil {
+		t.Fatal("dangling value accepted")
+	}
+}
+
+func TestParseHyphenatedNameWithoutProcs(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkFoo-bar   	 10	 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks[0].Name != "BenchmarkFoo-bar" || f.Benchmarks[0].Procs != 1 {
+		t.Fatalf("non-numeric suffix mishandled: %+v", f.Benchmarks[0])
+	}
+}

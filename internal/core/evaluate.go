@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"netsample/internal/bins"
 	"netsample/internal/dist"
@@ -12,8 +13,10 @@ import (
 
 // Evaluator scores samples of one trace window against the window's full
 // population for one target distribution, using one binning scheme. It
-// precomputes the population's bin proportions so that scoring a sample
-// is O(sample size).
+// precomputes a per-packet bin-index table so that scoring a sample is a
+// fused pass: selection visits feed a small per-bin counts array and the
+// metrics are computed straight from the counts — no index slice,
+// observation slice, or re-classification per sample (DESIGN.md §9).
 //
 // Scoring follows the paper's goodness-of-fit orientation: the expected
 // count in bin i is n·pᵢ, where n is the sample size and pᵢ the known
@@ -22,6 +25,9 @@ import (
 // computed on population scale — sample counts scaled up by N/n against
 // the population counts — because they model absolute packet-count
 // discrepancies (the charging example of Section 5.2).
+//
+// An Evaluator is immutable after construction and safe for concurrent
+// use; the worker-local mutable scoring state lives in Scorer.
 type Evaluator struct {
 	pop       *trace.Trace
 	target    Target
@@ -29,29 +35,65 @@ type Evaluator struct {
 	popCounts []float64 // population count per bin
 	popProps  []float64 // population proportion per bin
 	popTotal  float64
+	binIdx    []uint8 // per-packet bin index; noObservation = no observation
+	scorers   sync.Pool
 }
+
+// noObservation marks a packet that contributes no observation to the
+// target (index 0 of the interarrival target, which has no predecessor).
+const noObservation = 0xFF
 
 // ErrDegenerate reports a population whose observations all fall in bins
 // with zero expected proportion, making χ²-family metrics undefined.
 var ErrDegenerate = errors.New("core: population has empty bins; metrics undefined")
 
+// ErrTooManyBins reports a scheme whose bin count exceeds the 255-bin
+// capacity of the uint8 bin-index table.
+var ErrTooManyBins = errors.New("core: scheme exceeds 255 bins")
+
+// errEmptySample is returned by the scoring paths for samples with no
+// observations.
+var errEmptySample = errors.New("core: empty sample")
+
 // NewEvaluator analyzes the population once and returns a ready scorer.
 func NewEvaluator(pop *trace.Trace, target Target, scheme bins.Scheme) (*Evaluator, error) {
-	obs := PopulationObservations(pop, target)
-	if len(obs) == 0 {
-		return nil, ErrEmptyPopulation
+	nb := scheme.NumBins()
+	if nb > 255 {
+		return nil, fmt.Errorf("%w: %d bins (%s)", ErrTooManyBins, nb, scheme.Name())
 	}
-	counts := bins.Count(scheme, obs)
+	n := pop.Len()
 	e := &Evaluator{
 		pop:       pop,
 		target:    target,
 		scheme:    scheme,
-		popCounts: make([]float64, len(counts)),
-		popProps:  make([]float64, len(counts)),
+		popCounts: make([]float64, nb),
+		popProps:  make([]float64, nb),
+		binIdx:    make([]uint8, n),
 	}
-	for i, c := range counts {
-		e.popCounts[i] = float64(c)
-		e.popTotal += float64(c)
+	// One pass over the packets classifies every observation and tallies
+	// the population counts, without materializing the observation slice.
+	switch target {
+	case TargetInterarrival:
+		if n > 0 {
+			e.binIdx[0] = noObservation
+		}
+		for i := 1; i < n; i++ {
+			b := scheme.Index(float64(pop.Packets[i].Time - pop.Packets[i-1].Time))
+			e.binIdx[i] = uint8(b)
+			e.popCounts[b]++
+		}
+	default:
+		for i := 0; i < n; i++ {
+			b := scheme.Index(float64(pop.Packets[i].Size))
+			e.binIdx[i] = uint8(b)
+			e.popCounts[b]++
+		}
+	}
+	for _, c := range e.popCounts {
+		e.popTotal += c
+	}
+	if e.popTotal == 0 {
+		return nil, ErrEmptyPopulation
 	}
 	for i := range e.popProps {
 		if e.popCounts[i] == 0 {
@@ -62,6 +104,7 @@ func NewEvaluator(pop *trace.Trace, target Target, scheme bins.Scheme) (*Evaluat
 		}
 		e.popProps[i] = e.popCounts[i] / e.popTotal
 	}
+	e.scorers.New = func() any { return e.NewScorer() }
 	return e, nil
 }
 
@@ -71,28 +114,68 @@ func (e *Evaluator) Population() *trace.Trace { return e.pop }
 // Target returns the evaluator's target distribution.
 func (e *Evaluator) Target() Target { return e.target }
 
+// NumBins returns the number of bins of the evaluator's scheme.
+func (e *Evaluator) NumBins() int { return len(e.popCounts) }
+
 // PopulationProportions returns the population's per-bin proportions.
 func (e *Evaluator) PopulationProportions() []float64 {
 	return append([]float64(nil), e.popProps...)
 }
 
+// scorer borrows a pooled worker-local Scorer; release returns it. The
+// pool keeps the compatibility Score path allocation-free steady-state
+// while remaining safe under concurrent callers.
+func (e *Evaluator) scorer() *Scorer   { return e.scorers.Get().(*Scorer) }
+func (e *Evaluator) release(s *Scorer) { e.scorers.Put(s) }
+
 // Score computes the full metric report for a sample given as indices
-// into the evaluator's population trace.
+// into the evaluator's population trace. It is a thin wrapper over the
+// fused counts path: the indices are folded through the bin-index table
+// and scored with ScoreCounts' kernel.
 func (e *Evaluator) Score(indices []int) (metrics.Report, error) {
-	obs := Observations(e.pop, e.target, indices)
-	if len(obs) == 0 {
-		return metrics.Report{}, errors.New("core: empty sample")
+	sc := e.scorer()
+	sc.Reset()
+	for _, idx := range indices {
+		sc.Visit(idx)
 	}
-	counts := bins.Count(e.scheme, obs)
-	n := float64(len(obs))
-	observed := make([]float64, len(counts))
-	expected := make([]float64, len(counts))
-	scaledUp := make([]float64, len(counts))
+	rep, err := sc.Report()
+	e.release(sc)
+	return rep, err
+}
+
+// ScoreCounts scores a sample summarized as per-bin observation counts
+// (counts[i] = sample observations in bin i, len(counts) = NumBins()).
+// This is the fused scoring kernel: selection loops that accumulate bin
+// counts directly — e.g. via SelectEach and Scorer.Visit — score without
+// ever materializing indices or observations.
+func (e *Evaluator) ScoreCounts(counts []float64) (metrics.Report, error) {
+	if len(counts) != len(e.popCounts) {
+		return metrics.Report{}, fmt.Errorf("core: ScoreCounts got %d bins, scheme has %d",
+			len(counts), len(e.popCounts))
+	}
+	sc := e.scorer()
+	rep, err := e.reportFromCounts(counts, sc.expected, sc.scaled)
+	e.release(sc)
+	return rep, err
+}
+
+// reportFromCounts is the shared scoring kernel: observed per-bin counts
+// in, full metric report out. expected and scaled are caller-provided
+// scratch of NumBins() length, so steady-state scoring allocates nothing.
+// The arithmetic matches the historical Select+Observations+Count path
+// operation for operation, so reports are bit-identical to it.
+func (e *Evaluator) reportFromCounts(observed, expected, scaled []float64) (metrics.Report, error) {
+	var n float64
+	for _, c := range observed {
+		n += c
+	}
+	if n == 0 {
+		return metrics.Report{}, errEmptySample
+	}
 	scale := e.popTotal / n
-	for i, c := range counts {
-		observed[i] = float64(c)
+	for i, c := range observed {
 		expected[i] = n * e.popProps[i]
-		scaledUp[i] = float64(c) * scale
+		scaled[i] = c * scale
 	}
 	fraction := n / e.popTotal
 	if fraction > 1 {
@@ -106,10 +189,10 @@ func (e *Evaluator) Score(indices []int) (metrics.Report, error) {
 	if rep.Significance, err = metrics.Significance(observed, expected, 0); err != nil {
 		return metrics.Report{}, err
 	}
-	if rep.Cost, err = metrics.Cost(scaledUp, e.popCounts); err != nil {
+	if rep.Cost, err = metrics.Cost(scaled, e.popCounts); err != nil {
 		return metrics.Report{}, err
 	}
-	if rep.RelativeCost, err = metrics.RelativeCost(scaledUp, e.popCounts, fraction); err != nil {
+	if rep.RelativeCost, err = metrics.RelativeCost(scaled, e.popCounts, fraction); err != nil {
 		return metrics.Report{}, err
 	}
 	if rep.PaxsonX2, err = metrics.PaxsonX2(observed, expected); err != nil {
@@ -142,9 +225,30 @@ type Replication struct {
 // Replicate runs a sampler n times with independent randomness (for
 // random methods) and returns the scored replications. Deterministic
 // methods produce identical replications unless the caller varies their
-// parameters (see SystematicOffsets).
+// parameters (see SystematicOffsets). Streaming samplers run on the
+// fused path: selection feeds bin counts directly, with one reused child
+// RNG, so the per-replication loop allocates nothing.
 func Replicate(e *Evaluator, s Sampler, n int, r *dist.RNG) ([]Replication, error) {
 	out := make([]Replication, 0, n)
+	if ss, ok := s.(StreamingSampler); ok {
+		sc := e.scorer()
+		defer e.release(sc)
+		child := dist.NewRNG(0)
+		visit := sc.Visit
+		for i := 0; i < n; i++ {
+			r.SplitInto(child)
+			sc.Reset()
+			if err := ss.SelectEach(e.pop, child, visit); err != nil {
+				return nil, err
+			}
+			rep, err := sc.Report()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Replication{SampleSize: sc.SampleSize(), Report: rep})
+		}
+		return out, nil
+	}
 	for i := 0; i < n; i++ {
 		idx, err := s.Select(e.pop, r.Split())
 		if err != nil {
@@ -162,7 +266,8 @@ func Replicate(e *Evaluator, s Sampler, n int, r *dist.RNG) ([]Replication, erro
 // SystematicOffsets scores systematic count-driven samples at `count`
 // distinct start offsets spread evenly over [0, k), reproducing the
 // paper's technique of varying the point at which sampling begins. It
-// returns one replication per offset.
+// returns one replication per offset, via the fused zero-allocation
+// scoring path.
 func SystematicOffsets(e *Evaluator, k, count int, r *dist.RNG) ([]Replication, error) {
 	if k < 1 {
 		return nil, ErrBadGranularity
@@ -171,17 +276,20 @@ func SystematicOffsets(e *Evaluator, k, count int, r *dist.RNG) ([]Replication, 
 		count = k
 	}
 	out := make([]Replication, 0, count)
+	sc := e.scorer()
+	defer e.release(sc)
+	visit := sc.Visit
 	for i := 0; i < count; i++ {
 		offset := i * k / count
-		idx, err := SystematicCount{K: k, Offset: offset}.Select(e.pop, r)
+		sc.Reset()
+		if err := (SystematicCount{K: k, Offset: offset}).SelectEach(e.pop, r, visit); err != nil {
+			return nil, err
+		}
+		rep, err := sc.Report()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := e.Score(idx)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Replication{SampleSize: len(idx), Report: rep})
+		out = append(out, Replication{SampleSize: sc.SampleSize(), Report: rep})
 	}
 	return out, nil
 }

@@ -2,11 +2,26 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"netsample/internal/dist"
 	"netsample/internal/trace"
 )
+
+// StreamingSampler is a Sampler that can stream its selections to a
+// visitor without materializing the index slice. SelectEach calls yield
+// once per selected packet, in increasing index order, consuming exactly
+// the same randomness as Select; Select is equivalent to SelectEach
+// collecting into a slice. All five of the paper's methods implement it,
+// which is what makes the fused selection→scoring path (Evaluator.Scorer)
+// allocation-free.
+type StreamingSampler interface {
+	Sampler
+	// SelectEach visits the selected indices in increasing order.
+	SelectEach(tr *trace.Trace, r *dist.RNG, yield func(i int)) error
+}
 
 // SystematicCount samples every K-th packet deterministically, starting
 // at index Offset (0 <= Offset < K). This is the method deployed on the
@@ -26,17 +41,38 @@ func (s SystematicCount) TimerDriven() bool { return false }
 // Granularity implements Sampler.
 func (s SystematicCount) Granularity() float64 { return float64(s.K) }
 
-// Select implements Sampler.
-func (s SystematicCount) Select(tr *trace.Trace, _ *dist.RNG) ([]int, error) {
+// validate checks the parameters against the trace, returning its length.
+func (s SystematicCount) validate(tr *trace.Trace) (int, error) {
 	if s.K < 1 {
-		return nil, ErrBadGranularity
+		return 0, ErrBadGranularity
 	}
 	if s.Offset < 0 || s.Offset >= s.K {
-		return nil, fmt.Errorf("%w: offset %d outside [0, %d)", ErrBadGranularity, s.Offset, s.K)
+		return 0, fmt.Errorf("%w: offset %d outside [0, %d)", ErrBadGranularity, s.Offset, s.K)
 	}
 	n := tr.Len()
 	if n == 0 {
-		return nil, ErrEmptyPopulation
+		return 0, ErrEmptyPopulation
+	}
+	return n, nil
+}
+
+// SelectEach implements StreamingSampler.
+func (s SystematicCount) SelectEach(tr *trace.Trace, _ *dist.RNG, yield func(int)) error {
+	n, err := s.validate(tr)
+	if err != nil {
+		return err
+	}
+	for i := s.Offset; i < n; i += s.K {
+		yield(i)
+	}
+	return nil
+}
+
+// Select implements Sampler.
+func (s SystematicCount) Select(tr *trace.Trace, _ *dist.RNG) ([]int, error) {
+	n, err := s.validate(tr)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int, 0, n/s.K+1)
 	for i := s.Offset; i < n; i += s.K {
@@ -62,22 +98,44 @@ func (s StratifiedCount) TimerDriven() bool { return false }
 // Granularity implements Sampler.
 func (s StratifiedCount) Granularity() float64 { return float64(s.K) }
 
-// Select implements Sampler.
-func (s StratifiedCount) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+// validate checks the parameters against the trace, returning its length.
+func (s StratifiedCount) validate(tr *trace.Trace) (int, error) {
 	if s.K < 1 {
-		return nil, ErrBadGranularity
+		return 0, ErrBadGranularity
 	}
 	n := tr.Len()
 	if n == 0 {
-		return nil, ErrEmptyPopulation
+		return 0, ErrEmptyPopulation
 	}
-	out := make([]int, 0, n/s.K+1)
+	return n, nil
+}
+
+// SelectEach implements StreamingSampler.
+func (s StratifiedCount) SelectEach(tr *trace.Trace, r *dist.RNG, yield func(int)) error {
+	n, err := s.validate(tr)
+	if err != nil {
+		return err
+	}
 	for start := 0; start < n; start += s.K {
 		size := s.K
 		if start+size > n {
 			size = n - start
 		}
-		out = append(out, start+r.IntN(size))
+		yield(start + r.IntN(size))
+	}
+	return nil
+}
+
+// Select implements Sampler.
+func (s StratifiedCount) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+	n, err := s.validate(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n/s.K+1)
+	err = s.SelectEach(tr, r, func(i int) { out = append(out, i) })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -97,33 +155,78 @@ func (s SimpleRandom) TimerDriven() bool { return false }
 // Granularity implements Sampler.
 func (s SimpleRandom) Granularity() float64 { return float64(s.K) }
 
-// Select implements Sampler.
-func (s SimpleRandom) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+// validate checks the parameters against the trace, returning its length
+// and the sample size.
+func (s SimpleRandom) validate(tr *trace.Trace) (n, want int, err error) {
 	if s.K < 1 {
-		return nil, ErrBadGranularity
+		return 0, 0, ErrBadGranularity
 	}
-	n := tr.Len()
+	n = tr.Len()
 	if n == 0 {
-		return nil, ErrEmptyPopulation
+		return 0, 0, ErrEmptyPopulation
 	}
-	want := (n + s.K - 1) / s.K
-	// Floyd's algorithm: uniform sample of `want` distinct indices in
-	// O(want) space, then an in-place counting of sorted order via a
-	// boolean map is avoided by collecting and sorting.
-	chosen := make(map[int]struct{}, want)
+	return n, (n + s.K - 1) / s.K, nil
+}
+
+// srBitsets pools the membership bitsets Floyd's algorithm needs, so
+// steady-state replication makes no per-sample allocation. A pooled
+// bitset is always all-zero: SelectEach clears each word as it drains it.
+var srBitsets = sync.Pool{New: func() any { return new(srBitset) }}
+
+// srBitset is a chosen-set over packet indices.
+type srBitset struct{ words []uint64 }
+
+// grow ensures capacity for n bits; fresh words come zeroed from make.
+func (b *srBitset) grow(n int) {
+	need := (n + 63) / 64
+	if cap(b.words) < need {
+		b.words = make([]uint64, need)
+	}
+	b.words = b.words[:need]
+}
+
+// SelectEach implements StreamingSampler. Floyd's algorithm draws the
+// same uniform sample of `want` distinct indices as the classic
+// map-based variant draw-for-draw, but tracks membership in a pooled
+// bitset — no map allocation or hashing on the hot path — and yields the
+// chosen indices in increasing order by draining the bitset.
+func (s SimpleRandom) SelectEach(tr *trace.Trace, r *dist.RNG, yield func(int)) error {
+	n, want, err := s.validate(tr)
+	if err != nil {
+		return err
+	}
+	b := srBitsets.Get().(*srBitset)
+	b.grow(n)
 	for j := n - want; j < n; j++ {
 		t := r.IntN(j + 1)
-		if _, dup := chosen[t]; dup {
-			chosen[j] = struct{}{}
-		} else {
-			chosen[t] = struct{}{}
+		if b.words[t>>6]&(1<<(uint(t)&63)) != 0 {
+			t = j
 		}
+		b.words[t>>6] |= 1 << (uint(t) & 63)
+	}
+	for w, word := range b.words {
+		base := w << 6
+		for word != 0 {
+			yield(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+		b.words[w] = 0
+	}
+	srBitsets.Put(b)
+	return nil
+}
+
+// Select implements Sampler.
+func (s SimpleRandom) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+	_, want, err := s.validate(tr)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int, 0, want)
-	for idx := range chosen {
-		out = append(out, idx)
+	err = s.SelectEach(tr, r, func(i int) { out = append(out, i) })
+	if err != nil {
+		return nil, err
 	}
-	sort.Ints(out)
 	return out, nil
 }
 
@@ -168,18 +271,37 @@ func (s SystematicTimer) TimerDriven() bool { return true }
 // Granularity implements Sampler.
 func (s SystematicTimer) Granularity() float64 { return s.nominalK }
 
-// Select implements Sampler.
-func (s SystematicTimer) Select(tr *trace.Trace, _ *dist.RNG) ([]int, error) {
+// validate checks the parameters against the trace, returning its length.
+func (s SystematicTimer) validate(tr *trace.Trace) (int, error) {
 	if s.PeriodUS < 1 {
-		return nil, ErrBadPeriod
+		return 0, ErrBadPeriod
 	}
 	n := tr.Len()
 	if n == 0 {
-		return nil, ErrEmptyPopulation
+		return 0, ErrEmptyPopulation
+	}
+	return n, nil
+}
+
+// timerCap estimates the number of timer selections: one per period over
+// the trace span, plus slack for the edge ticks.
+func timerCap(tr *trace.Trace, n int, periodUS int64) int {
+	span := tr.Packets[n-1].Time - tr.Packets[0].Time
+	c := int(span/periodUS) + 2
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// SelectEach implements StreamingSampler.
+func (s SystematicTimer) SelectEach(tr *trace.Trace, _ *dist.RNG, yield func(int)) error {
+	n, err := s.validate(tr)
+	if err != nil {
+		return err
 	}
 	start := tr.Packets[0].Time
 	end := tr.Packets[n-1].Time
-	var out []int
 	if s.SelectPrevious {
 		// Ablation rule: each expiry selects the newest already-arrived
 		// packet not yet selected.
@@ -187,11 +309,11 @@ func (s SystematicTimer) Select(tr *trace.Trace, _ *dist.RNG) ([]int, error) {
 		for tick := start + s.OffsetUS; tick <= end+s.PeriodUS; tick += s.PeriodUS {
 			i := sort.Search(n, func(j int) bool { return tr.Packets[j].Time >= tick }) - 1
 			if i > last {
-				out = append(out, i)
+				yield(i)
 				last = i
 			}
 		}
-		return out, nil
+		return nil
 	}
 	// Firmware semantics: a timer expiry arms selection of the next
 	// arrival; further expiries before that arrival collapse into the
@@ -207,10 +329,24 @@ func (s SystematicTimer) Select(tr *trace.Trace, _ *dist.RNG) ([]int, error) {
 		if idx >= n {
 			break
 		}
-		out = append(out, idx)
+		yield(idx)
 		t := tr.Packets[idx].Time
 		tick += ((t-tick)/s.PeriodUS + 1) * s.PeriodUS
 		idx++
+	}
+	return nil
+}
+
+// Select implements Sampler.
+func (s SystematicTimer) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+	n, err := s.validate(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, timerCap(tr, n, s.PeriodUS))
+	err = s.SelectEach(tr, r, func(i int) { out = append(out, i) })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -242,18 +378,26 @@ func (s StratifiedTimer) TimerDriven() bool { return true }
 // Granularity implements Sampler.
 func (s StratifiedTimer) Granularity() float64 { return s.nominalK }
 
-// Select implements Sampler.
-func (s StratifiedTimer) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+// validate checks the parameters against the trace, returning its length.
+func (s StratifiedTimer) validate(tr *trace.Trace) (int, error) {
 	if s.PeriodUS < 1 {
-		return nil, ErrBadPeriod
+		return 0, ErrBadPeriod
 	}
 	n := tr.Len()
 	if n == 0 {
-		return nil, ErrEmptyPopulation
+		return 0, ErrEmptyPopulation
+	}
+	return n, nil
+}
+
+// SelectEach implements StreamingSampler.
+func (s StratifiedTimer) SelectEach(tr *trace.Trace, r *dist.RNG, yield func(int)) error {
+	n, err := s.validate(tr)
+	if err != nil {
+		return err
 	}
 	start := tr.Packets[0].Time
 	end := tr.Packets[n-1].Time
-	var out []int
 	idx := 0
 	for bucket := start; bucket <= end; bucket += s.PeriodUS {
 		instant := bucket + r.Int64N(s.PeriodUS)
@@ -263,8 +407,22 @@ func (s StratifiedTimer) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
 		if idx >= n {
 			break
 		}
-		out = append(out, idx)
+		yield(idx)
 		idx++
+	}
+	return nil
+}
+
+// Select implements Sampler.
+func (s StratifiedTimer) Select(tr *trace.Trace, r *dist.RNG) ([]int, error) {
+	n, err := s.validate(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, timerCap(tr, n, s.PeriodUS))
+	err = s.SelectEach(tr, r, func(i int) { out = append(out, i) })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// pins are skipped under -race because instrumentation (and sync.Pool's
+// deliberate item-dropping in race mode) perturbs allocation counts.
+const raceEnabled = false

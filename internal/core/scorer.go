@@ -1,0 +1,70 @@
+package core
+
+import "netsample/internal/metrics"
+
+// Scorer is the worker-local mutable state of the fused scoring path:
+// a per-bin observation counts array fed directly by selection visits,
+// plus the expected/scaled scratch the metric kernel needs. One Scorer
+// per goroutine or loop; the parent Evaluator stays immutable and
+// shared. The zero Scorer is not valid; obtain one from NewScorer.
+//
+// Usage pattern:
+//
+//	sc := ev.NewScorer()
+//	for each replication {
+//		sc.Reset()
+//		sampler.SelectEach(tr, rng, sc.Visit)
+//		rep, err := sc.Report()
+//	}
+//
+// Steady-state, that loop performs zero heap allocations.
+type Scorer struct {
+	e        *Evaluator
+	counts   []float64
+	expected []float64
+	scaled   []float64
+	selected int
+}
+
+// NewScorer returns a ready-to-use Scorer bound to e.
+func (e *Evaluator) NewScorer() *Scorer {
+	nb := len(e.popCounts)
+	return &Scorer{
+		e:        e,
+		counts:   make([]float64, nb),
+		expected: make([]float64, nb),
+		scaled:   make([]float64, nb),
+	}
+}
+
+// Reset clears the accumulated sample so the Scorer can score afresh.
+func (s *Scorer) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.selected = 0
+}
+
+// Visit records the selection of packet i. Packets that contribute no
+// observation to the target (the first packet of the interarrival
+// target) still count toward SampleSize, matching the legacy
+// Select+Score accounting where sample size was len(indices).
+func (s *Scorer) Visit(i int) {
+	s.selected++
+	if b := s.e.binIdx[i]; b != noObservation {
+		s.counts[b]++
+	}
+}
+
+// SampleSize returns the number of packets visited since the last Reset.
+func (s *Scorer) SampleSize() int { return s.selected }
+
+// Counts returns a copy of the accumulated per-bin observation counts.
+func (s *Scorer) Counts() []float64 {
+	return append([]float64(nil), s.counts...)
+}
+
+// Report scores the accumulated sample. It does not reset the Scorer.
+func (s *Scorer) Report() (metrics.Report, error) {
+	return s.e.reportFromCounts(s.counts, s.expected, s.scaled)
+}

@@ -41,6 +41,15 @@ func splitmix64(state *uint64) uint64 {
 // NewRNG returns a generator whose stream is fully determined by seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place to the stream NewRNG(seed) would
+// produce, discarding any cached normal variate. Hot replication loops
+// use it to reuse one generator allocation across deterministically
+// re-seeded replications.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -48,7 +57,8 @@ func NewRNG(seed uint64) *RNG {
 	// A pathological all-zero state cannot occur: splitmix64 is a bijection
 	// composed with a non-zero xor-shift mix, and four consecutive outputs
 	// of zero would require a cycle of length < 2^64.
-	return r
+	r.spare = 0
+	r.haveSpare = false
 }
 
 // Split derives an independent generator from r. The child stream is a
@@ -58,6 +68,12 @@ func NewRNG(seed uint64) *RNG {
 // across goroutines.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+// SplitInto reseeds child to the stream the next Split call would have
+// returned, advancing the parent identically, but without allocating.
+func (r *RNG) SplitInto(child *RNG) {
+	child.Reseed(r.Uint64() ^ 0xd3833e804f4c574b)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -327,12 +327,13 @@ func ChiSquareAcceptance(tr *trace.Trace, target core.Target) (*ChiSquareAccepta
 	out := &ChiSquareAcceptanceResult{
 		Granularity: k, Replications: k, Target: target.String(), MinSig: math.Inf(1),
 	}
+	sc := ev.NewScorer()
 	for offset := 0; offset < k; offset++ {
-		idx, err := core.SystematicCount{K: k, Offset: offset}.Select(tr, nil)
-		if err != nil {
+		sc.Reset()
+		if err := (core.SystematicCount{K: k, Offset: offset}).SelectEach(tr, nil, sc.Visit); err != nil {
 			return nil, err
 		}
-		rep, err := ev.Score(idx)
+		rep, err := sc.Report()
 		if err != nil {
 			return nil, err
 		}

@@ -162,16 +162,17 @@ func Figure3(tr *trace.Trace) (*Figure3Result, error) {
 		return nil, err
 	}
 	out := &Figure3Result{IntervalSeconds: 2048}
+	sc := ev.NewScorer()
 	for _, k := range powerOfTwoGrans(1, 15) {
-		idx, err := core.SystematicCount{K: k}.Select(win, nil)
+		sc.Reset()
+		if err := (core.SystematicCount{K: k}).SelectEach(win, nil, sc.Visit); err != nil {
+			return nil, err
+		}
+		rep, err := sc.Report()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := ev.Score(idx)
-		if err != nil {
-			return nil, err
-		}
-		out.Points = append(out.Points, Figure3Point{Granularity: k, SampleSize: len(idx), Report: rep})
+		out.Points = append(out.Points, Figure3Point{Granularity: k, SampleSize: sc.SampleSize(), Report: rep})
 	}
 	return out, nil
 }
@@ -238,14 +239,23 @@ func histogramFigure(tr *trace.Trace, target core.Target, figure string) (*Histo
 	for i := 0; i < scheme.NumBins(); i++ {
 		out.Labels = append(out.Labels, scheme.Label(i))
 	}
+	sc := ev.NewScorer()
 	for _, k := range out.Granularities {
-		idx, err := core.SystematicCount{K: k}.Select(win, nil)
-		if err != nil {
+		sc.Reset()
+		if err := (core.SystematicCount{K: k}).SelectEach(win, nil, sc.Visit); err != nil {
 			return nil, err
 		}
-		obs := core.Observations(win, target, idx)
-		out.Proportions = append(out.Proportions, bins.Proportions(scheme, obs))
-		rep, err := ev.Score(idx)
+		counts := sc.Counts()
+		var n float64
+		for _, c := range counts {
+			n += c
+		}
+		props := make([]float64, len(counts))
+		for i, c := range counts {
+			props[i] = c / n
+		}
+		out.Proportions = append(out.Proportions, props)
+		rep, err := sc.Report()
 		if err != nil {
 			return nil, err
 		}
@@ -494,19 +504,20 @@ func systematicTimerOffsets(ev *core.Evaluator, win *trace.Trace, k, count int) 
 	if err != nil {
 		return nil, err
 	}
-	var out []core.Replication
+	out := make([]core.Replication, 0, count)
+	sc := ev.NewScorer()
 	for i := 0; i < count; i++ {
 		off := int64(i) * period / int64(count)
 		s := core.SystematicTimer{PeriodUS: period, OffsetUS: off}
-		idx, err := s.Select(win, nil)
+		sc.Reset()
+		if err := s.SelectEach(win, nil, sc.Visit); err != nil {
+			return nil, err
+		}
+		rep, err := sc.Report()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := ev.Score(idx)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, core.Replication{SampleSize: len(idx), Report: rep})
+		out = append(out, core.Replication{SampleSize: sc.SampleSize(), Report: rep})
 	}
 	return out, nil
 }

@@ -3,126 +3,113 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"netsample/internal/core"
 	"netsample/internal/trace"
 )
 
+// wrap adapts an experiment constructor to the suite's uniform job
+// shape, tagging failures with the experiment's concrete type the way
+// the historical serial loop did.
+func wrap[T Result](f func() (T, error)) func() (Result, error) {
+	return func() (Result, error) {
+		r, err := f()
+		if err != nil {
+			return nil, fmt.Errorf("experiment %T: %w", r, err)
+		}
+		return r, nil
+	}
+}
+
+// suiteJobs lists every table and figure of the suite in paper order.
+// Each job is self-contained — experiments seed their own internal RNGs
+// and never share mutable state — so the jobs can run in any order or
+// concurrently and still produce identical results slot by slot.
+func suiteJobs(tr *trace.Trace) []func() (Result, error) {
+	return []func() (Result, error){
+		func() (Result, error) { return Table1(), nil },
+		wrap(func() (*Table2Result, error) { return Table2(tr) }),
+		wrap(func() (*Table3Result, error) { return Table3(tr) }),
+		wrap(func() (*Figure1Result, error) { return Figure1(30, 20, 800) }),
+		wrap(Figure2),
+		wrap(func() (*Figure3Result, error) { return Figure3(tr) }),
+		wrap(func() (*HistogramFigureResult, error) { return Figure4(tr) }),
+		wrap(func() (*HistogramFigureResult, error) { return Figure5(tr) }),
+		wrap(func() (*Figure6Result, error) { return Figure6(tr) }),
+		wrap(func() (*Figure7Result, error) { return Figure7(tr) }),
+		wrap(func() (*MethodsFigureResult, error) { return Figure8(tr) }),
+		wrap(func() (*MethodsFigureResult, error) { return Figure9(tr) }),
+		wrap(func() (*ElapsedFigureResult, error) { return Figure10(tr) }),
+		wrap(func() (*ElapsedFigureResult, error) { return Figure11(tr) }),
+		wrap(func() (*SampleSizesResult, error) { return SampleSizes(tr) }),
+		wrap(func() (*ChiSquareAcceptanceResult, error) { return ChiSquareAcceptance(tr, core.TargetSize) }),
+		wrap(func() (*ChiSquareAcceptanceResult, error) { return ChiSquareAcceptance(tr, core.TargetInterarrival) }),
+		wrap(func() (*CategoricalFigureResult, error) { return ExtPorts(tr) }),
+		wrap(func() (*CategoricalFigureResult, error) { return ExtMatrix(tr) }),
+		wrap(func() (*TheoryResult, error) { return Theory(tr, core.TargetSize) }),
+		wrap(Adaptive),
+		wrap(func() (*FIXWestResult, error) { return FIXWest(tr) }),
+		wrap(func() (*BurstResult, error) { return Burst(tr) }),
+		wrap(func() (*ArtsHistResult, error) { return ArtsHist(tr) }),
+		wrap(func() (*FlowBiasResult, error) { return FlowBias(tr) }),
+		wrap(func() (*HeavyHitterResult, error) { return HeavyHitters(tr) }),
+		wrap(func() (*ReproCheckResult, error) { return ReproCheck(tr) }),
+	}
+}
+
 // All runs the complete experiment suite — every table and figure — on
 // the given parent trace and returns the results in paper order.
+//
+// Independent experiments run concurrently across a worker pool, but the
+// returned slice is index-addressed by the paper-order job list, so the
+// output is byte-identical to the serial implementation (see allSerial
+// and the equivalence test). On failure the error of the earliest
+// paper-order failing experiment is returned.
 func All(tr *trace.Trace) ([]Result, error) {
-	var out []Result
-	add := func(r Result, err error) error {
+	jobs := suiteJobs(tr)
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("experiment %T: %w", r, err)
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// allSerial runs the same job list on the calling goroutine, in order.
+// It is the reference implementation the parallel All is pinned against.
+func allSerial(tr *trace.Trace) ([]Result, error) {
+	jobs := suiteJobs(tr)
+	out := make([]Result, 0, len(jobs))
+	for _, job := range jobs {
+		r, err := job()
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, r)
-		return nil
-	}
-	out = append(out, Table1())
-	t2, err := Table2(tr)
-	if err := add(t2, err); err != nil {
-		return nil, err
-	}
-	t3, err := Table3(tr)
-	if err := add(t3, err); err != nil {
-		return nil, err
-	}
-	f1, err := Figure1(30, 20, 800)
-	if err := add(f1, err); err != nil {
-		return nil, err
-	}
-	f2, err := Figure2()
-	if err := add(f2, err); err != nil {
-		return nil, err
-	}
-	f3, err := Figure3(tr)
-	if err := add(f3, err); err != nil {
-		return nil, err
-	}
-	f4, err := Figure4(tr)
-	if err := add(f4, err); err != nil {
-		return nil, err
-	}
-	f5, err := Figure5(tr)
-	if err := add(f5, err); err != nil {
-		return nil, err
-	}
-	f6, err := Figure6(tr)
-	if err := add(f6, err); err != nil {
-		return nil, err
-	}
-	f7, err := Figure7(tr)
-	if err := add(f7, err); err != nil {
-		return nil, err
-	}
-	f8, err := Figure8(tr)
-	if err := add(f8, err); err != nil {
-		return nil, err
-	}
-	f9, err := Figure9(tr)
-	if err := add(f9, err); err != nil {
-		return nil, err
-	}
-	f10, err := Figure10(tr)
-	if err := add(f10, err); err != nil {
-		return nil, err
-	}
-	f11, err := Figure11(tr)
-	if err := add(f11, err); err != nil {
-		return nil, err
-	}
-	ss, err := SampleSizes(tr)
-	if err := add(ss, err); err != nil {
-		return nil, err
-	}
-	c1, err := ChiSquareAcceptance(tr, core.TargetSize)
-	if err := add(c1, err); err != nil {
-		return nil, err
-	}
-	c2, err := ChiSquareAcceptance(tr, core.TargetInterarrival)
-	if err := add(c2, err); err != nil {
-		return nil, err
-	}
-	ep, err := ExtPorts(tr)
-	if err := add(ep, err); err != nil {
-		return nil, err
-	}
-	em, err := ExtMatrix(tr)
-	if err := add(em, err); err != nil {
-		return nil, err
-	}
-	th, err := Theory(tr, core.TargetSize)
-	if err := add(th, err); err != nil {
-		return nil, err
-	}
-	ad, err := Adaptive()
-	if err := add(ad, err); err != nil {
-		return nil, err
-	}
-	fw, err := FIXWest(tr)
-	if err := add(fw, err); err != nil {
-		return nil, err
-	}
-	bu, err := Burst(tr)
-	if err := add(bu, err); err != nil {
-		return nil, err
-	}
-	ah, err := ArtsHist(tr)
-	if err := add(ah, err); err != nil {
-		return nil, err
-	}
-	fb, err := FlowBias(tr)
-	if err := add(fb, err); err != nil {
-		return nil, err
-	}
-	hh, err := HeavyHitters(tr)
-	if err := add(hh, err); err != nil {
-		return nil, err
-	}
-	rc, err := ReproCheck(tr)
-	if err := add(rc, err); err != nil {
-		return nil, err
 	}
 	return out, nil
 }

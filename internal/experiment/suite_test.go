@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAllMatchesSerial pins the parallel suite runner to the serial
+// reference: same trace in, byte-identical rendered output out,
+// regardless of goroutine scheduling.
+func TestAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run skipped in -short mode")
+	}
+	tr := testTrace(t)
+
+	par, err := All(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := allSerial(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel returned %d results, serial %d", len(par), len(seq))
+	}
+
+	var parBuf, seqBuf bytes.Buffer
+	if err := WriteAll(&parBuf, par); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAll(&seqBuf, seq); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parBuf.Bytes(), seqBuf.Bytes()) {
+		for i := range par {
+			if render(t, par[i]) != render(t, seq[i]) {
+				t.Fatalf("result %d (%s) differs between parallel and serial runs",
+					i, par[i].ID())
+			}
+		}
+		t.Fatal("parallel and serial outputs differ")
+	}
+}
