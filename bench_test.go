@@ -10,6 +10,7 @@ package netsample
 
 import (
 	"bytes"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"netsample/internal/metrics"
 	"netsample/internal/nnstat"
 	"netsample/internal/online"
+	"netsample/internal/pipeline"
 	"netsample/internal/snmp"
 	"netsample/internal/stats"
 	"netsample/internal/trace"
@@ -913,6 +915,78 @@ func BenchmarkSelectByGranularity(b *testing.B) {
 				}
 			}
 			b.SetBytes(int64(tr.Len()))
+		})
+	}
+}
+
+// loopSource cycles a real trace's packets with rebased monotonic
+// timestamps, yielding exactly n packets — an endless-stream stand-in
+// that costs nothing per packet beyond the slice read.
+type loopSource struct {
+	packets []trace.Packet
+	n       int
+	pos     int
+	i       int
+	baseUS  int64
+	shiftUS int64
+	spanUS  int64
+}
+
+func newLoopSource(tr *trace.Trace, n int) *loopSource {
+	span := tr.Packets[len(tr.Packets)-1].Time - tr.Packets[0].Time + 1000
+	return &loopSource{packets: tr.Packets, n: n, spanUS: span}
+}
+
+func (l *loopSource) Next() (trace.Packet, error) {
+	if l.pos >= l.n {
+		return trace.Packet{}, io.EOF
+	}
+	l.pos++
+	p := l.packets[l.i]
+	l.i++
+	if l.i == len(l.packets) {
+		l.i = 0
+		l.shiftUS += l.spanUS
+	}
+	p.Time += l.shiftUS
+	return p, nil
+}
+
+// BenchmarkPipelineThroughput measures the streaming pipeline's
+// end-to-end packet rate (ingest → shard → sample → aggregate) by shard
+// count, with one benchmark op = one packet. The ingest runs on the
+// benchmark goroutine; allocs/op near zero is the hot-path guarantee
+// (pinned exactly by TestPipelineHotPathAllocs).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	tr := benchSmall(b)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			p, err := pipeline.New(pipeline.Config{
+				Shards: shards,
+				NewSampler: func(int) (online.Sampler, error) {
+					return online.NewSystematic(50, 0)
+				},
+				// Flows from the cycled trace never expire mid-run, so the
+				// flow table reaches steady state after the first lap.
+				FlowTimeoutUS: 1 << 60,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := newLoopSource(tr, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := p.Run(src); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "pkts/s")
+			}
+			snap, ok := p.Latest()
+			if !ok || snap.Processed != uint64(b.N) {
+				b.Fatalf("pipeline lost packets: %+v", snap)
+			}
 		})
 	}
 }

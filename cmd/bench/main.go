@@ -6,10 +6,17 @@
 // Usage:
 //
 //	bench [-bench regex] [-benchtime 1x] [-count 1] [-pkg .] [-o BENCH.json]
+//	      [-compare old.json] [-tolerance 1.25] [-warn-only]
 //
 // The output is deliberately free of timestamps and host-volatile noise
 // beyond the cpu/goos/goarch header go test itself reports: the file is
 // meant to be checked in, and git history supplies the dates.
+//
+// With -compare, the run is also diffed against a baseline file
+// (typically the checked-in BENCH.json): per-benchmark and geomean
+// ns/op ratios are printed, and benchmarks slower than -tolerance exit
+// non-zero unless -warn-only is set (the CI smoke job runs warn-only,
+// since 1x iteration counts are noisy by construction).
 package main
 
 import (
@@ -34,6 +41,9 @@ func main() {
 	count := flag.Int("count", 1, "number of runs per benchmark")
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
 	out := flag.String("o", "BENCH.json", "output file; - writes to stdout")
+	compare := flag.String("compare", "", "baseline BENCH.json to diff the run against")
+	tolerance := flag.Float64("tolerance", 1.25, "regression threshold ratio for -compare")
+	warnOnly := flag.Bool("warn-only", false, "report -compare regressions without failing")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test",
@@ -72,10 +82,33 @@ func main() {
 		if _, err := os.Stdout.Write(data); err != nil {
 			log.Fatal(err)
 		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d benchmarks to %s", len(f.Benchmarks), *out)
+	}
+
+	if *compare == "" {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	base, err := os.Open(*compare)
+	if err != nil {
+		log.Fatalf("compare: %v", err)
 	}
-	log.Printf("wrote %d benchmarks to %s", len(f.Benchmarks), *out)
+	var old benchjson.File
+	err = json.NewDecoder(base).Decode(&old)
+	base.Close()
+	if err != nil {
+		log.Fatalf("compare: parse %s: %v", *compare, err)
+	}
+	cmp := benchjson.Compare(&old, f)
+	fmt.Print(cmp.Format(*tolerance))
+	if regs := cmp.Regressions(*tolerance); len(regs) > 0 {
+		if *warnOnly {
+			log.Printf("warning: %d benchmarks regressed beyond %.2fx", len(regs), *tolerance)
+			return
+		}
+		log.Fatalf("%d benchmarks regressed beyond %.2fx", len(regs), *tolerance)
+	}
 }

@@ -1,0 +1,246 @@
+// Command nsd is the streaming characterization daemon: the node-side
+// system of the paper's Section 2, built on internal/pipeline. It runs
+// one of the paper's sampling methods over a packet stream across N
+// worker shards, maintains windowed size/interarrival histograms, flow
+// accounting, and heavy-hitter sketches over the selected packets,
+// scores each window against the reference population (φ and friends),
+// and exports the latest snapshot over the collect wire protocol so a
+// NOC can poll it (Collector.PollSnapshot).
+//
+// Usage:
+//
+//	nsd -in trace.nstr [-method systematic] [-k 100] [-shards 1]
+//	    [-window 0] [-listen 127.0.0.1:0] ...
+//	nsd -gen [-seconds 120] [-pps 424] ...
+//
+// The daemon is deterministic: all randomness comes from -seed, and
+// windowing runs on the virtual clock of the packet timestamps. With
+// one shard, the final snapshot's reports are bit-identical to the
+// batch evaluator in internal/core on the same trace and seed (pinned
+// by a tier-1 test). SIGINT/SIGTERM drain the pipeline cleanly and the
+// final snapshot is printed before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netsample/internal/arts"
+	"netsample/internal/bins"
+	"netsample/internal/collect"
+	"netsample/internal/core"
+	"netsample/internal/dist"
+	"netsample/internal/online"
+	"netsample/internal/pipeline"
+	"netsample/internal/trace"
+	"netsample/internal/traffgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nsd: ")
+
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "agent listen address")
+		in      = flag.String("in", "", "NSTR trace file to stream (mutually exclusive with -gen)")
+		gen     = flag.Bool("gen", false, "generate the input with traffgen instead of reading a file")
+		seconds = flag.Int("seconds", 120, "generated trace duration in seconds (-gen)")
+		pps     = flag.Float64("pps", 424, "generated average packets per second (-gen)")
+		method  = flag.String("method", "systematic",
+			"sampling method: systematic, stratified, systematic-timer, stratified-timer")
+		k           = flag.Int("k", 100, "sampling granularity (1 in k packets, or the timer equivalent)")
+		shards      = flag.Int("shards", 1, "worker shard count")
+		window      = flag.Duration("window", 0, "snapshot window on the trace's virtual clock (0 = one final window)")
+		seed        = flag.Uint64("seed", 1993, "root RNG seed for random methods and -gen")
+		queue       = flag.Int("queue", pipeline.DefaultQueueDepth, "per-shard queue depth in batches")
+		batch       = flag.Int("batch", pipeline.DefaultBatchSize, "ingest batch size in packets")
+		policy      = flag.String("policy", "block", "overload policy: block or drop")
+		topk        = flag.Int("topk", pipeline.DefaultTopKReport, "heavy-hitter flows per snapshot")
+		flowTimeout = flag.Duration("flow-timeout", 15*time.Second, "flow idle timeout on the virtual clock")
+		name        = flag.String("name", "nsd", "node name in exported snapshots")
+		once        = flag.Bool("once", false, "exit when the source drains instead of serving until a signal")
+		quiet       = flag.Bool("q", false, "suppress per-window snapshot lines")
+	)
+	flag.Parse()
+
+	if (*in == "") == !*gen {
+		log.Fatal("exactly one of -in or -gen is required")
+	}
+	tr, err := loadTrace(*in, *gen, *seconds, *pps, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		log.Fatal("input trace is empty")
+	}
+
+	cfg, err := buildConfig(tr, *method, *k, *shards, *window, *seed,
+		*queue, *batch, *policy, *topk, *flowTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		cfg.OnSnapshot = func(s *pipeline.Snapshot) {
+			fmt.Println(summarize(s))
+		}
+	}
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agent := collect.NewAgent(*name, arts.T3)
+	agent.Snapshots = pipeline.NewExporter(p, *name)
+	addr, err := agent.Serve(*listen)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	// The banner is part of the CLI contract: tests and scripts parse the
+	// bound address from it.
+	fmt.Printf("nsd: listening on %s\n", addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	stopped := make(chan struct{})
+	go func() {
+		<-sigc
+		log.Print("signal received; draining")
+		p.Stop()
+		close(stopped)
+	}()
+
+	if err := p.Run(tr.Replay()); err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	if final, ok := p.Latest(); ok && *quiet {
+		fmt.Println(summarize(final))
+	}
+
+	if !*once {
+		select {
+		case <-stopped:
+		default:
+			log.Print("source drained; serving snapshots until SIGINT/SIGTERM")
+			<-stopped
+		}
+	}
+	if err := agent.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}
+
+// loadTrace reads or generates the daemon's input, which doubles as the
+// reference population for snapshot scoring.
+func loadTrace(in string, gen bool, seconds int, pps float64, seed uint64) (*trace.Trace, error) {
+	if gen {
+		cfg := traffgen.NSFNETHour()
+		cfg.Seed = seed
+		cfg.Duration = time.Duration(seconds) * time.Second
+		cfg.TargetPPS = pps
+		return traffgen.Generate(cfg)
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// buildConfig assembles the pipeline configuration: per-shard samplers
+// split off one seeded root RNG in shard order, and the reference
+// evaluators reuse the input trace as the known parent population.
+func buildConfig(tr *trace.Trace, method string, k, shards int,
+	window time.Duration, seed uint64, queue, batch int, policy string,
+	topk int, flowTimeout time.Duration) (pipeline.Config, error) {
+
+	cfg := pipeline.Config{
+		Shards:        shards,
+		QueueDepth:    queue,
+		BatchSize:     batch,
+		WindowUS:      window.Microseconds(),
+		TopKReport:    topk,
+		FlowTimeoutUS: flowTimeout.Microseconds(),
+	}
+	switch policy {
+	case "block":
+		cfg.Policy = pipeline.Block
+	case "drop":
+		cfg.Policy = pipeline.Drop
+	default:
+		return cfg, fmt.Errorf("unknown -policy %q (want block or drop)", policy)
+	}
+
+	root := dist.NewRNG(seed)
+	switch method {
+	case "systematic":
+		cfg.NewSampler = func(int) (online.Sampler, error) {
+			return online.NewSystematic(k, 0)
+		}
+	case "stratified":
+		rngs := splitRNGs(root, shards)
+		cfg.NewSampler = func(shard int) (online.Sampler, error) {
+			return online.NewStratified(k, rngs[shard])
+		}
+	case "systematic-timer":
+		period, err := core.PeriodForGranularity(tr, float64(k))
+		if err != nil {
+			return cfg, err
+		}
+		cfg.NewSampler = func(int) (online.Sampler, error) {
+			return online.NewSystematicTimer(period, 0)
+		}
+	case "stratified-timer":
+		period, err := core.PeriodForGranularity(tr, float64(k))
+		if err != nil {
+			return cfg, err
+		}
+		rngs := splitRNGs(root, shards)
+		cfg.NewSampler = func(shard int) (online.Sampler, error) {
+			return online.NewStratifiedTimer(period, rngs[shard])
+		}
+	default:
+		return cfg, fmt.Errorf("unknown -method %q", method)
+	}
+
+	var err error
+	if cfg.SizeEval, err = core.NewEvaluator(tr, core.TargetSize, bins.PacketSize()); err != nil {
+		return cfg, fmt.Errorf("size evaluator: %w", err)
+	}
+	if cfg.IatEval, err = core.NewEvaluator(tr, core.TargetInterarrival, bins.Interarrival()); err != nil {
+		return cfg, fmt.Errorf("interarrival evaluator: %w", err)
+	}
+	return cfg, nil
+}
+
+// splitRNGs derives one independent child RNG per shard, in shard
+// order, so runs are reproducible for any shard count.
+func splitRNGs(root *dist.RNG, shards int) []*dist.RNG {
+	out := make([]*dist.RNG, shards)
+	for i := range out {
+		out[i] = root.Split()
+	}
+	return out
+}
+
+// summarize renders one snapshot line for the operator.
+func summarize(s *pipeline.Snapshot) string {
+	line := fmt.Sprintf("window %d [%dus,%dus)", s.Seq, s.WindowStartUS, s.WindowEndUS)
+	if s.Final {
+		line += " final"
+	}
+	line += fmt.Sprintf(": offered=%d processed=%d selected=%d dropped=%d flows=%d",
+		s.Offered, s.Processed, s.Selected, s.Dropped, s.Flows.Flows)
+	if s.SizeReport != nil {
+		line += fmt.Sprintf(" phi[size]=%.4f", s.SizeReport.Phi)
+	}
+	if s.IatReport != nil {
+		line += fmt.Sprintf(" phi[iat]=%.4f", s.IatReport.Phi)
+	}
+	return line
+}

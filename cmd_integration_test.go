@@ -1,11 +1,22 @@
 package netsample
 
 import (
+	"bufio"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"netsample/internal/bins"
+	"netsample/internal/collect"
+	"netsample/internal/core"
+	"netsample/internal/dist"
+	"netsample/internal/metrics"
+	"netsample/internal/trace"
 )
 
 // buildTools compiles the CLI tools once per test process and returns
@@ -115,6 +126,139 @@ func TestCLICollectionPair(t *testing.T) {
 		"-agents", addr, "-cycles", "1", "-interval", "1s")
 	if !strings.Contains(out, "cycle 1") || !strings.Contains(out, "backbone packet total") {
 		t.Fatalf("noccollect output: %s", out)
+	}
+}
+
+// nsdReportBits flattens a report to its float64 bit patterns so the
+// daemon-vs-batch comparison is exact, not approximate.
+func nsdReportBits(r metrics.Report) [7]uint64 {
+	return [7]uint64{
+		math.Float64bits(r.ChiSquare), math.Float64bits(r.Significance),
+		math.Float64bits(r.Cost), math.Float64bits(r.RelativeCost),
+		math.Float64bits(r.PaxsonX2), math.Float64bits(r.AvgNormDev),
+		math.Float64bits(r.Phi),
+	}
+}
+
+// TestNSDSnapshotMatchesBatch is the daemon's end-to-end deterministic
+// guarantee, tier-1 enforced: run nsd single-shard on a fixed trace,
+// poll its final snapshot over the collect wire protocol, and require
+// the exported reports to be bit-identical to the batch core sampler +
+// evaluator on the same trace. It also covers the clean SIGTERM path.
+func TestNSDSnapshotMatchesBatch(t *testing.T) {
+	dir := buildTools(t, "tracegen", "nsd")
+	trPath := filepath.Join(t.TempDir(), "t.nstr")
+	run(t, filepath.Join(dir, "tracegen"),
+		"-out", trPath, "-seconds", "30", "-pps", "600", "-seed", "42", "-q")
+
+	// Batch reference on the exact trace the daemon will stream.
+	f, err := os.Open(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	sizeEval, err := core.NewEvaluator(tr, core.TargetSize, bins.PacketSize())
+	if err != nil {
+		t.Fatalf("size evaluator: %v", err)
+	}
+	iatEval, err := core.NewEvaluator(tr, core.TargetInterarrival, bins.Interarrival())
+	if err != nil {
+		t.Fatalf("iat evaluator: %v", err)
+	}
+	idx, err := core.SystematicCount{K: 50}.Select(tr, dist.NewRNG(1993))
+	if err != nil {
+		t.Fatalf("batch select: %v", err)
+	}
+	wantSize, err := sizeEval.Score(idx)
+	if err != nil {
+		t.Fatalf("batch size score: %v", err)
+	}
+	wantIat, err := iatEval.Score(idx)
+	if err != nil {
+		t.Fatalf("batch iat score: %v", err)
+	}
+
+	daemon := exec.Command(filepath.Join(dir, "nsd"),
+		"-in", trPath, "-method", "systematic", "-k", "50", "-shards", "1",
+		"-listen", "127.0.0.1:0", "-name", "e2e-node", "-q")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waited := false
+	defer func() {
+		if !waited {
+			_ = daemon.Process.Kill()
+			_ = daemon.Wait()
+		}
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no banner from nsd: %v", sc.Err())
+	}
+	banner := sc.Text()
+	const prefix = "nsd: listening on "
+	if !strings.HasPrefix(banner, prefix) {
+		t.Fatalf("unexpected banner: %q", banner)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(banner, prefix))
+
+	// The daemon drains the trace and then serves the final snapshot
+	// until signalled; poll until that snapshot appears.
+	coll := collect.NewCollector()
+	var snap *collect.Snapshot
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err = coll.PollSnapshot(addr)
+		if err == nil && snap.Final {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no final snapshot before deadline: snap=%+v err=%v", snap, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if snap.Node != "e2e-node" || snap.Shards != 1 {
+		t.Errorf("snapshot identity = node %q, %d shards", snap.Node, snap.Shards)
+	}
+	if snap.Processed != uint64(tr.Len()) || snap.Dropped != 0 {
+		t.Errorf("processed %d dropped %d, want %d and 0",
+			snap.Processed, snap.Dropped, tr.Len())
+	}
+	if snap.Selected != uint64(len(idx)) {
+		t.Errorf("selected %d packets, batch selected %d", snap.Selected, len(idx))
+	}
+	if snap.SizeReport == nil || snap.IatReport == nil {
+		t.Fatalf("snapshot missing reports: %+v", snap)
+	}
+	if got, want := nsdReportBits(*snap.SizeReport), nsdReportBits(wantSize); got != want {
+		t.Errorf("size report bits = %v, want %v", got, want)
+	}
+	if got, want := nsdReportBits(*snap.IatReport), nsdReportBits(wantIat); got != want {
+		t.Errorf("iat report bits = %v, want %v", got, want)
+	}
+	for _, phi := range []float64{snap.SizeReport.Phi, snap.IatReport.Phi} {
+		if math.IsNaN(phi) || math.IsInf(phi, 0) {
+			t.Errorf("non-finite phi %v in exported snapshot", phi)
+		}
+	}
+
+	// Clean shutdown: SIGTERM must drain and exit zero.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited = true
+	if err := daemon.Wait(); err != nil {
+		t.Errorf("nsd exit after SIGTERM: %v", err)
 	}
 }
 

@@ -1,0 +1,119 @@
+package benchjson
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Delta is one benchmark's ns/op movement between two runs.
+type Delta struct {
+	Name  string
+	OldNs float64
+	NewNs float64
+	// Ratio is NewNs/OldNs: 1.10 means 10% slower, 0.90 means 10%
+	// faster.
+	Ratio float64
+}
+
+// Comparison diffs two benchmark files by benchmark name.
+type Comparison struct {
+	// Deltas covers benchmarks present in both files with a positive
+	// ns/op on both sides, sorted by descending Ratio (worst regression
+	// first).
+	Deltas []Delta
+	// OnlyOld and OnlyNew list benchmarks present in just one file.
+	OnlyOld []string
+	OnlyNew []string
+	// GeomeanRatio is the geometric mean of the ratios — the suite-wide
+	// slowdown factor. 1.0 when Deltas is empty.
+	GeomeanRatio float64
+}
+
+// Compare diffs the current run against a baseline. Benchmarks are
+// matched by name; a name appearing multiple times (e.g. -count > 1)
+// uses its first occurrence on each side.
+func Compare(old, cur *File) Comparison {
+	c := Comparison{GeomeanRatio: 1}
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if _, dup := oldNs[b.Name]; !dup {
+			oldNs[b.Name] = b.NsPerOp
+		}
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	var logSum float64
+	for _, b := range cur.Benchmarks {
+		if seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		o, ok := oldNs[b.Name]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, b.Name)
+			continue
+		}
+		if o <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{Name: b.Name, OldNs: o, NewNs: b.NsPerOp, Ratio: b.NsPerOp / o}
+		c.Deltas = append(c.Deltas, d)
+		logSum += math.Log(d.Ratio)
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			c.OnlyOld = append(c.OnlyOld, b.Name)
+			seen[b.Name] = true
+		}
+	}
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	sort.Slice(c.Deltas, func(i, j int) bool {
+		//nslint:allow floateq sort tie-break, not an equality decision
+		if c.Deltas[i].Ratio != c.Deltas[j].Ratio {
+			return c.Deltas[i].Ratio > c.Deltas[j].Ratio
+		}
+		return c.Deltas[i].Name < c.Deltas[j].Name
+	})
+	if len(c.Deltas) > 0 {
+		c.GeomeanRatio = math.Exp(logSum / float64(len(c.Deltas)))
+	}
+	return c
+}
+
+// Regressions returns the deltas slower than the tolerance factor
+// (e.g. 1.25 flags benchmarks more than 25% slower than the baseline).
+func (c Comparison) Regressions(tolerance float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Ratio > tolerance {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the comparison as a human-readable table, flagging
+// deltas beyond the tolerance factor.
+func (c Comparison) Format(tolerance float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Ratio > tolerance {
+			mark = "  << regression"
+		}
+		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %7.3fx%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Ratio, mark)
+	}
+	for _, n := range c.OnlyNew {
+		fmt.Fprintf(&sb, "%-44s %14s %14s\n", n, "(new)", "-")
+	}
+	for _, n := range c.OnlyOld {
+		fmt.Fprintf(&sb, "%-44s %14s %14s\n", n, "-", "(removed)")
+	}
+	fmt.Fprintf(&sb, "geomean ratio over %d benchmarks: %.3fx (tolerance %.2fx)\n",
+		len(c.Deltas), c.GeomeanRatio, tolerance)
+	return sb.String()
+}

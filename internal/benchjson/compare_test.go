@@ -1,0 +1,80 @@
+package benchjson
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mkFile(pairs ...any) *File {
+	f := &File{}
+	for i := 0; i < len(pairs); i += 2 {
+		f.Benchmarks = append(f.Benchmarks, Benchmark{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return f
+}
+
+func TestCompare(t *testing.T) {
+	old := mkFile("BenchmarkA", 100.0, "BenchmarkB", 200.0, "BenchmarkGone", 50.0)
+	cur := mkFile("BenchmarkA", 150.0, "BenchmarkB", 100.0, "BenchmarkNew", 10.0)
+	c := Compare(old, cur)
+
+	if len(c.Deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(c.Deltas))
+	}
+	// Sorted worst-first: A regressed 1.5x, B improved 0.5x.
+	if c.Deltas[0].Name != "BenchmarkA" || c.Deltas[0].Ratio != 1.5 {
+		t.Errorf("worst delta = %+v", c.Deltas[0])
+	}
+	if c.Deltas[1].Name != "BenchmarkB" || c.Deltas[1].Ratio != 0.5 {
+		t.Errorf("second delta = %+v", c.Deltas[1])
+	}
+	// geomean(1.5, 0.5) = sqrt(0.75)
+	if want := math.Sqrt(0.75); math.Abs(c.GeomeanRatio-want) > 1e-12 {
+		t.Errorf("geomean = %v, want %v", c.GeomeanRatio, want)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkGone" {
+		t.Errorf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkNew" {
+		t.Errorf("OnlyNew = %v", c.OnlyNew)
+	}
+
+	regs := c.Regressions(1.25)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+		t.Errorf("Regressions(1.25) = %v", regs)
+	}
+	if regs := c.Regressions(2.0); len(regs) != 0 {
+		t.Errorf("Regressions(2.0) = %v", regs)
+	}
+
+	out := c.Format(1.25)
+	if !strings.Contains(out, "<< regression") || !strings.Contains(out, "BenchmarkNew") {
+		t.Errorf("Format output missing sections:\n%s", out)
+	}
+}
+
+func TestCompareEdgeCases(t *testing.T) {
+	// Empty inputs: neutral geomean, no deltas.
+	c := Compare(&File{}, &File{})
+	if c.GeomeanRatio != 1 || len(c.Deltas) != 0 {
+		t.Errorf("empty compare = %+v", c)
+	}
+	// Zero ns/op (e.g. a 1x smoke run of a sub-microsecond op) is
+	// excluded rather than poisoning the geomean.
+	c = Compare(mkFile("BenchmarkZ", 0.0), mkFile("BenchmarkZ", 100.0))
+	if len(c.Deltas) != 0 || c.GeomeanRatio != 1 {
+		t.Errorf("zero baseline produced deltas: %+v", c)
+	}
+	// Duplicate names (-count > 1) use the first occurrence.
+	c = Compare(
+		mkFile("BenchmarkD", 100.0, "BenchmarkD", 999.0),
+		mkFile("BenchmarkD", 110.0, "BenchmarkD", 1.0),
+	)
+	if len(c.Deltas) != 1 || c.Deltas[0].Ratio != 1.1 {
+		t.Errorf("duplicate handling = %+v", c.Deltas)
+	}
+}

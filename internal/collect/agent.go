@@ -22,6 +22,11 @@ type Agent struct {
 	mu  sync.Mutex
 	set *arts.ObjectSet
 
+	// Snapshots, when set, answers TypeSnapshotQuery requests with the
+	// node's live pipeline view (e.g. a *pipeline.Exporter). Nil makes
+	// snapshot queries return a wire error.
+	Snapshots SnapshotSource
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -148,6 +153,21 @@ func (a *Agent) handle(conn net.Conn) {
 		case TypeQuery:
 			payload, err = a.snapshot(false)
 			respType = TypeReport
+		case TypeSnapshotQuery:
+			switch src := a.Snapshots; {
+			case src == nil:
+				payload = []byte("no snapshot source configured")
+				respType = TypeError
+			default:
+				s, ok := src.LatestSnapshot()
+				if !ok {
+					payload = []byte("no snapshot available yet")
+					respType = TypeError
+					break
+				}
+				payload, err = encodeSnapshot(s)
+				respType = TypeSnapshot
+			}
 		default:
 			payload = []byte(fmt.Sprintf("unsupported request type %d", msgType))
 			respType = TypeError

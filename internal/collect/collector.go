@@ -50,7 +50,29 @@ func (c *Collector) Query(addr string) (*Report, error) {
 	return c.request(addr, TypeQuery)
 }
 
+// PollSnapshot requests the agent's latest pipeline window snapshot.
+// Agents without a snapshot source, or whose pipeline has not completed
+// a window yet, answer with a wire error that surfaces here.
+func (c *Collector) PollSnapshot(addr string) (*Snapshot, error) {
+	payload, err := c.roundTrip(addr, TypeSnapshotQuery, TypeSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(payload)
+}
+
 func (c *Collector) request(addr string, msgType uint8) (*Report, error) {
+	payload, err := c.roundTrip(addr, msgType, TypeReport)
+	if err != nil {
+		return nil, err
+	}
+	return decodeReport(payload)
+}
+
+// roundTrip performs one request/response exchange with an agent and
+// returns the payload of the expected response type; TypeError
+// responses become errors.
+func (c *Collector) roundTrip(addr string, msgType, wantType uint8) ([]byte, error) {
 	d := net.Dialer{Timeout: c.Timeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
@@ -68,8 +90,8 @@ func (c *Collector) request(addr string, msgType uint8) (*Report, error) {
 		return nil, fmt.Errorf("collect: response from %s: %w", addr, err)
 	}
 	switch respType {
-	case TypeReport:
-		return decodeReport(payload)
+	case wantType:
+		return payload, nil
 	case TypeError:
 		return nil, fmt.Errorf("collect: agent %s: %s", addr, payload)
 	default:

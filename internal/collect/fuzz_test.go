@@ -32,6 +32,44 @@ func FuzzDecodeReport(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSnapshot: arbitrary payloads must never panic the snapshot
+// decoder, and anything that decodes must survive an encode→decode
+// round trip bit-identically (the wire form is canonical).
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid, err := encodeSnapshot(sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	minimal, err := encodeSnapshot(&Snapshot{Node: "n"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(minimal)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	// A length field claiming maxSnapshotBins exactly, with no data.
+	f.Add([]byte{0x01, 0x00, 'n', 0x00, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := encodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+		s2, err := decodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !snapshotsBitEqual(s, s2) {
+			t.Fatalf("snapshot not canonical:\n first %+v\nsecond %+v", s, s2)
+		}
+	})
+}
+
 // FuzzReadFrame: arbitrary streams must never panic the frame reader.
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer

@@ -1,0 +1,275 @@
+package collect
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netsample/internal/flows"
+	"netsample/internal/metrics"
+	"netsample/internal/nnstat"
+)
+
+// Snapshot is the wire form of a pipeline window snapshot — the live
+// streaming counterpart of the poll Report. A node running the
+// characterization pipeline exposes its latest window through an Agent
+// (via the SnapshotSource hook), and the NOC pulls it with
+// Collector.PollSnapshot.
+//
+// Payload layout (after the frame header; integers little-endian):
+//
+//	node (uint16 len + bytes), seq uint64,
+//	windowStartUS int64, windowEndUS int64,
+//	flags uint8 (bit0 final, bit1 size report present, bit2 iat
+//	report present), shards uint32,
+//	offered/processed/selected/dropped uint64,
+//	sizeCounts (uint16 count + uint64 each),
+//	iatCounts (uint16 count + uint64 each),
+//	[size report, 56 bytes] [iat report, 56 bytes],
+//	flows/packets/bytes/singletons/activeFlows uint64,
+//	topk (uint16 count, each: uint16 keyLen + bytes,
+//	      count uint64, maxError uint64).
+//
+// Reports travel as raw float64 bit patterns (metrics.AppendReport), so
+// a snapshot round trip is bit-exact — the property the deterministic
+// single-shard equivalence test pins end-to-end through cmd/nsd.
+type Snapshot struct {
+	Node          string
+	Seq           uint64
+	WindowStartUS int64
+	WindowEndUS   int64
+	Final         bool
+	Shards        uint32
+
+	Offered   uint64
+	Processed uint64
+	Selected  uint64
+	Dropped   uint64
+
+	SizeCounts []uint64
+	IatCounts  []uint64
+	SizeReport *metrics.Report
+	IatReport  *metrics.Report
+
+	FlowCounts  flows.Counts
+	ActiveFlows uint64
+	TopK        []nnstat.Entry
+}
+
+// Snapshot payload bounds: a corrupt length field must not drive
+// allocation past what a genuine snapshot could need.
+const (
+	maxSnapshotBins = 1024
+	maxTopEntries   = 4096
+)
+
+// Snapshot flag bits.
+const (
+	snapFlagFinal      = 1 << 0
+	snapFlagSizeReport = 1 << 1
+	snapFlagIatReport  = 1 << 2
+)
+
+// SnapshotSource supplies an Agent's live snapshot view; a nil source
+// means the node does not run a pipeline and snapshot queries fail with
+// a wire error, not a crash.
+type SnapshotSource interface {
+	// LatestSnapshot returns the most recent window snapshot, or
+	// ok=false when no window has completed yet.
+	LatestSnapshot() (*Snapshot, bool)
+}
+
+// encodeSnapshot serializes a snapshot payload.
+func encodeSnapshot(s *Snapshot) ([]byte, error) {
+	if len(s.Node) > maxNameLen {
+		return nil, fmt.Errorf("%w: node name too long", ErrWire)
+	}
+	if len(s.SizeCounts) > maxSnapshotBins || len(s.IatCounts) > maxSnapshotBins {
+		return nil, fmt.Errorf("%w: too many histogram bins", ErrWire)
+	}
+	if len(s.TopK) > maxTopEntries {
+		return nil, fmt.Errorf("%w: too many top-k entries", ErrWire)
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.Node)))
+	buf = append(buf, s.Node...)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.WindowStartUS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.WindowEndUS))
+	var flags uint8
+	if s.Final {
+		flags |= snapFlagFinal
+	}
+	if s.SizeReport != nil {
+		flags |= snapFlagSizeReport
+	}
+	if s.IatReport != nil {
+		flags |= snapFlagIatReport
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, s.Shards)
+	for _, v := range [...]uint64{s.Offered, s.Processed, s.Selected, s.Dropped} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = appendCounts(buf, s.SizeCounts)
+	buf = appendCounts(buf, s.IatCounts)
+	if s.SizeReport != nil {
+		buf = metrics.AppendReport(buf, *s.SizeReport)
+	}
+	if s.IatReport != nil {
+		buf = metrics.AppendReport(buf, *s.IatReport)
+	}
+	for _, v := range [...]uint64{
+		s.FlowCounts.Flows, s.FlowCounts.Packets, s.FlowCounts.Bytes,
+		s.FlowCounts.Singletons, s.ActiveFlows,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.TopK)))
+	for _, e := range s.TopK {
+		if len(e.Key) > maxNameLen {
+			return nil, fmt.Errorf("%w: top-k key too long", ErrWire)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Count)
+		buf = binary.LittleEndian.AppendUint64(buf, e.MaxError)
+	}
+	return buf, nil
+}
+
+// decodeSnapshot parses a snapshot payload, enforcing every length
+// bound and exact payload consumption.
+func decodeSnapshot(payload []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	node, off, err := readString(payload, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.Node = node
+	u64 := func() (uint64, error) {
+		if off+8 > len(payload) {
+			return 0, fmt.Errorf("%w: truncated snapshot", ErrWire)
+		}
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v, nil
+	}
+	if s.Seq, err = u64(); err != nil {
+		return nil, err
+	}
+	var v uint64
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	s.WindowStartUS = int64(v)
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	s.WindowEndUS = int64(v)
+	if off >= len(payload) {
+		return nil, fmt.Errorf("%w: missing snapshot flags", ErrWire)
+	}
+	flags := payload[off]
+	off++
+	s.Final = flags&snapFlagFinal != 0
+	if off+4 > len(payload) {
+		return nil, fmt.Errorf("%w: truncated snapshot", ErrWire)
+	}
+	s.Shards = binary.LittleEndian.Uint32(payload[off:])
+	off += 4
+	for _, dst := range [...]*uint64{&s.Offered, &s.Processed, &s.Selected, &s.Dropped} {
+		if *dst, err = u64(); err != nil {
+			return nil, err
+		}
+	}
+	if s.SizeCounts, off, err = readCounts(payload, off); err != nil {
+		return nil, err
+	}
+	if s.IatCounts, off, err = readCounts(payload, off); err != nil {
+		return nil, err
+	}
+	if flags&snapFlagSizeReport != 0 {
+		rep, rest, err := metrics.DecodeReport(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		s.SizeReport = &rep
+		off = len(payload) - len(rest)
+	}
+	if flags&snapFlagIatReport != 0 {
+		rep, rest, err := metrics.DecodeReport(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		s.IatReport = &rep
+		off = len(payload) - len(rest)
+	}
+	for _, dst := range [...]*uint64{
+		&s.FlowCounts.Flows, &s.FlowCounts.Packets, &s.FlowCounts.Bytes,
+		&s.FlowCounts.Singletons, &s.ActiveFlows,
+	} {
+		if *dst, err = u64(); err != nil {
+			return nil, err
+		}
+	}
+	if off+2 > len(payload) {
+		return nil, fmt.Errorf("%w: missing top-k count", ErrWire)
+	}
+	nTop := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	if nTop > maxTopEntries {
+		return nil, fmt.Errorf("%w: top-k count %d exceeds limit", ErrWire, nTop)
+	}
+	for i := 0; i < nTop; i++ {
+		var key string
+		if key, off, err = readString(payload, off); err != nil {
+			return nil, err
+		}
+		e := nnstat.Entry{Key: key}
+		if e.Count, err = u64(); err != nil {
+			return nil, err
+		}
+		if e.MaxError, err = u64(); err != nil {
+			return nil, err
+		}
+		s.TopK = append(s.TopK, e)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWire, len(payload)-off)
+	}
+	return s, nil
+}
+
+// appendCounts writes a uint16-count-prefixed uint64 array.
+func appendCounts(buf []byte, counts []uint64) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(counts)))
+	for _, c := range counts {
+		buf = binary.LittleEndian.AppendUint64(buf, c)
+	}
+	return buf
+}
+
+// readCounts reads a uint16-count-prefixed uint64 array, bounding the
+// element count before allocating.
+func readCounts(b []byte, off int) ([]uint64, int, error) {
+	if off+2 > len(b) {
+		return nil, 0, fmt.Errorf("%w: missing count array length", ErrWire)
+	}
+	n := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if n > maxSnapshotBins {
+		return nil, 0, fmt.Errorf("%w: count array length %d exceeds limit", ErrWire, n)
+	}
+	if off+8*n > len(b) {
+		return nil, 0, fmt.Errorf("%w: count array overruns payload", ErrWire)
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	return out, off, nil
+}

@@ -46,6 +46,10 @@ const (
 	TypeQuery  uint8 = 2
 	TypeReport uint8 = 3
 	TypeError  uint8 = 4
+	// TypeSnapshotQuery requests the node's latest pipeline window
+	// snapshot; TypeSnapshot carries it (see Snapshot for the layout).
+	TypeSnapshotQuery uint8 = 5
+	TypeSnapshot      uint8 = 6
 )
 
 // ErrWire reports a malformed frame or report.

@@ -126,6 +126,34 @@ func Decompose(tr *trace.Trace, timeoutUS int64) ([]Flow, error) {
 	return t.Flush(), nil
 }
 
+// Counts are integer flow-level totals, the wire-friendly counterpart
+// of Summary: exact sums that merge across shards or windows by plain
+// field addition.
+type Counts struct {
+	// Flows is the number of flow records.
+	Flows uint64
+	// Packets and Bytes total the records' packet and byte counts.
+	Packets uint64
+	Bytes   uint64
+	// Singletons counts one-packet flows — the population packet
+	// sampling misses most readily.
+	Singletons uint64
+}
+
+// CountFlows totals a flow record set.
+func CountFlows(fs []Flow) Counts {
+	var c Counts
+	c.Flows = uint64(len(fs))
+	for _, f := range fs {
+		c.Packets += uint64(f.Packets)
+		c.Bytes += uint64(f.Bytes)
+		if f.Packets == 1 {
+			c.Singletons++
+		}
+	}
+	return c
+}
+
 // Summary aggregates flow-level statistics.
 type Summary struct {
 	Flows       int

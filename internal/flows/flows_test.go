@@ -166,3 +166,32 @@ func TestSamplingBiasesFlowView(t *testing.T) {
 			sampSum.MeanPackets, fullSum.MeanPackets)
 	}
 }
+
+// TestCountFlows checks the integer totals against Summarize on the
+// same records.
+func TestCountFlows(t *testing.T) {
+	fs := []Flow{
+		{Packets: 1, Bytes: 40},
+		{Packets: 10, Bytes: 5520},
+		{Packets: 1, Bytes: 552},
+	}
+	got := CountFlows(fs)
+	want := Counts{Flows: 3, Packets: 12, Bytes: 6112, Singletons: 2}
+	if got != want {
+		t.Errorf("CountFlows = %+v, want %+v", got, want)
+	}
+	if (CountFlows(nil) != Counts{}) {
+		t.Error("CountFlows(nil) not zero")
+	}
+	// Counts merge by field addition: two halves sum to the whole.
+	left, right := CountFlows(fs[:1]), CountFlows(fs[1:])
+	sum := Counts{
+		Flows:      left.Flows + right.Flows,
+		Packets:    left.Packets + right.Packets,
+		Bytes:      left.Bytes + right.Bytes,
+		Singletons: left.Singletons + right.Singletons,
+	}
+	if sum != want {
+		t.Errorf("split counts sum to %+v, want %+v", sum, want)
+	}
+}

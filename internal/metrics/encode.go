@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ReportWireSize is the encoded size of a Report: seven float64 fields
+// as little-endian IEEE-754 bit patterns.
+const ReportWireSize = 7 * 8
+
+// AppendReport appends r's wire encoding to buf. The encoding is
+// bit-exact — every field travels as its raw float64 bit pattern — so a
+// report survives a network round trip bit-identical, which the
+// pipeline's deterministic-mode equivalence guarantee depends on.
+func AppendReport(buf []byte, r Report) []byte {
+	for _, v := range [...]float64{
+		r.ChiSquare, r.Significance, r.Cost, r.RelativeCost,
+		r.PaxsonX2, r.AvgNormDev, r.Phi,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeReport decodes a Report from the first ReportWireSize bytes of
+// buf, returning the remainder.
+func DecodeReport(buf []byte) (Report, []byte, error) {
+	if len(buf) < ReportWireSize {
+		return Report{}, nil, fmt.Errorf("metrics: report needs %d bytes, have %d",
+			ReportWireSize, len(buf))
+	}
+	fields := [7]float64{}
+	for i := range fields {
+		fields[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	r := Report{
+		ChiSquare:    fields[0],
+		Significance: fields[1],
+		Cost:         fields[2],
+		RelativeCost: fields[3],
+		PaxsonX2:     fields[4],
+		AvgNormDev:   fields[5],
+		Phi:          fields[6],
+	}
+	return r, buf[ReportWireSize:], nil
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReportWireRoundTrip checks the encoding is bit-exact for finite,
+// non-finite, and signed-zero values alike.
+func TestReportWireRoundTrip(t *testing.T) {
+	cases := []Report{
+		{},
+		{ChiSquare: 1.5, Significance: 0.25, Cost: 1e6, RelativeCost: 0.125,
+			PaxsonX2: 3.75, AvgNormDev: 0.001, Phi: 0.0421},
+		{ChiSquare: math.Inf(1), Significance: math.NaN(),
+			Cost: math.Copysign(0, -1), RelativeCost: math.SmallestNonzeroFloat64,
+			PaxsonX2: math.MaxFloat64, AvgNormDev: math.Inf(-1), Phi: -0.0},
+	}
+	for i, want := range cases {
+		buf := AppendReport([]byte{0xAA}, want) // non-empty prefix must be preserved
+		if buf[0] != 0xAA || len(buf) != 1+ReportWireSize {
+			t.Fatalf("case %d: bad buffer shape: len %d", i, len(buf))
+		}
+		got, rest, err := DecodeReport(buf[1:])
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("case %d: %d bytes left over", i, len(rest))
+		}
+		gw := [...]float64{want.ChiSquare, want.Significance, want.Cost,
+			want.RelativeCost, want.PaxsonX2, want.AvgNormDev, want.Phi}
+		gg := [...]float64{got.ChiSquare, got.Significance, got.Cost,
+			got.RelativeCost, got.PaxsonX2, got.AvgNormDev, got.Phi}
+		for f := range gw {
+			if math.Float64bits(gw[f]) != math.Float64bits(gg[f]) {
+				t.Errorf("case %d field %d: bits %x != %x", i, f,
+					math.Float64bits(gw[f]), math.Float64bits(gg[f]))
+			}
+		}
+	}
+}
+
+// TestDecodeReportShortBuffer checks truncated input errors cleanly.
+func TestDecodeReportShortBuffer(t *testing.T) {
+	for n := 0; n < ReportWireSize; n++ {
+		if _, _, err := DecodeReport(make([]byte, n)); err == nil {
+			t.Fatalf("decode accepted %d of %d bytes", n, ReportWireSize)
+		}
+	}
+}

@@ -83,6 +83,44 @@ func (t *TopK) Add(key string, weight uint64) {
 	heap.Fix(&t.h, 0)
 }
 
+// AddBytes accounts weight occurrences of the key spelled as raw
+// bytes. It is the streaming hot-path form of Add: the map lookup uses
+// Go's allocation-free []byte→string conversion, so accounting a key
+// already in the sketch allocates nothing; the key string is only
+// materialized when a new counter is created or the minimum counter is
+// evicted. The caller may reuse key's backing array across calls.
+func (t *TopK) AddBytes(key []byte, weight uint64) {
+	t.total += weight
+	if e, ok := t.entries[string(key)]; ok {
+		e.count += weight
+		heap.Fix(&t.h, e.heapIdx)
+		return
+	}
+	if len(t.entries) < t.capacity {
+		e := &tkEntry{key: string(key), count: weight}
+		t.entries[e.key] = e
+		heap.Push(&t.h, e)
+		return
+	}
+	min := t.h[0]
+	delete(t.entries, min.key)
+	e := &tkEntry{key: string(key), count: min.count + weight, overcnt: min.count, heapIdx: 0}
+	t.entries[e.key] = e
+	t.h[0] = e
+	heap.Fix(&t.h, 0)
+}
+
+// Reset empties the sketch for reuse, keeping its capacity. The counter
+// map and heap storage are retained, so windowed use (reset per window)
+// does not reallocate.
+func (t *TopK) Reset() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+	t.h = t.h[:0]
+	t.total = 0
+}
+
 // Total returns the stream weight seen.
 func (t *TopK) Total() uint64 { return t.total }
 

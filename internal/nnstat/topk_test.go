@@ -150,3 +150,77 @@ func TestTopKDeterministicTies(t *testing.T) {
 		t.Fatalf("tie order wrong: %v %v", top[0].Key, top[1].Key)
 	}
 }
+
+// TestAddBytesMatchesAdd checks the byte-key hot path is semantically
+// identical to the string path, including eviction behavior.
+func TestAddBytesMatchesAdd(t *testing.T) {
+	a, err := NewTopK(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTopK(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(11)
+	buf := make([]byte, 13)
+	for i := 0; i < 10_000; i++ {
+		// Zipf-ish key space: low ids dominate, tail forces evictions.
+		id := rng.IntN(1 + rng.IntN(64))
+		for j := range buf {
+			buf[j] = byte(id >> (j % 4 * 8))
+		}
+		a.Add(string(buf), 1)
+		b.AddBytes(buf, 1)
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals differ: %d vs %d", a.Total(), b.Total())
+	}
+	at, bt := a.Top(8), b.Top(8)
+	if len(at) != len(bt) {
+		t.Fatalf("top sizes differ: %d vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Errorf("entry %d differs: %+v vs %+v", i, at[i], bt[i])
+		}
+	}
+}
+
+// TestAddBytesDoesNotAllocOnHit pins the alloc-free property the
+// pipeline hot path relies on: accounting an existing key makes no
+// allocation.
+func TestAddBytesDoesNotAllocOnHit(t *testing.T) {
+	tk, err := NewTopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	tk.AddBytes(key, 1) // insert once (allocates the key string)
+	avg := testing.AllocsPerRun(1000, func() { tk.AddBytes(key, 1) })
+	if avg != 0 {
+		t.Errorf("AddBytes on existing key allocates %.2f per call", avg)
+	}
+}
+
+// TestTopKReset checks reuse after Reset: the sketch empties but keeps
+// working, and repeated windowed use converges to the same results.
+func TestTopKReset(t *testing.T) {
+	tk, err := NewTopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tk.Add(fmt.Sprintf("k%d", i%6), 1)
+	}
+	tk.Reset()
+	if tk.Total() != 0 || len(tk.Top(10)) != 0 {
+		t.Fatalf("sketch not empty after Reset: total %d, %d entries",
+			tk.Total(), len(tk.Top(10)))
+	}
+	tk.Add("after", 3)
+	top := tk.Top(1)
+	if len(top) != 1 || top[0].Key != "after" || top[0].Count != 3 || top[0].MaxError != 0 {
+		t.Errorf("post-Reset accounting wrong: %+v", top)
+	}
+}

@@ -13,6 +13,34 @@
 // Equivalence with the batch methods is verified in the tests: streaming
 // systematic selects exactly the same packets as core.SystematicCount,
 // and the timer forms match core's timer samplers tick for tick.
+//
+// # Timestamp tolerance
+//
+// Real capture clocks step backwards (NTP adjustments) and repeat
+// (coarse granularity: the study's own hardware ticked at 400 µs, so
+// back-to-back packets share timestamps). Offer therefore accepts any
+// int64 timestamp sequence — non-monotonic, duplicated, negative —
+// without panicking, and each Offer decides exactly one packet, so no
+// packet is ever selected twice. The defined behavior per method:
+//
+//   - Systematic and Stratified are count-driven and ignore timestamps
+//     entirely; their selection pattern is unaffected.
+//   - SystematicTimer's schedule only moves forward: its first packet
+//     anchors the tick, a selection advances the next tick strictly past
+//     the selected timestamp, and a packet timestamped before the
+//     pending tick is simply not selected. Duplicate timestamps collapse
+//     onto at most one selection per tick.
+//   - StratifiedTimer never reopens a bucket and fires at most once per
+//     bucket. A timestamp at or past the current bucket's end opens the
+//     following buckets one by one (drawing one random instant each, the
+//     same draw sequence as the batch form); a timestamp before the
+//     current bucket's random instant — including one that jumped
+//     backwards — is not selected.
+//   - Reservoir ignores timestamps; membership depends only on arrival
+//     order and the RNG.
+//
+// These guarantees are pinned by the property tests in
+// property_test.go.
 package online
 
 import (

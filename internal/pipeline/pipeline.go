@@ -1,0 +1,438 @@
+// Package pipeline composes the repository's streaming pieces into the
+// operational system of the paper's Section 2: a node that continuously
+// samples its forwarding path and answers NOC queries. It is the
+// production-shaped counterpart of the batch machinery in internal/core
+// — ingest → shard → sample → aggregate → export over live packet
+// streams, with bounded queues, an explicit overload policy, and
+// windowed snapshots a collector can poll.
+//
+// Architecture (DESIGN.md §10):
+//
+//	Source ──ingest──▶ shard 0 work queue ──worker──▶ shard 0 state
+//	           │     ▶ shard 1 work queue ──worker──▶ shard 1 state
+//	           │          ...                             │ snapshot
+//	           └─ window barrier markers ─────────────────▶ merge/score
+//
+// The ingest stage runs on the goroutine that calls Run: it pulls
+// packets from any Source (an NSTR stream reader, an in-memory trace
+// replay, a generated workload), stamps each packet with its
+// interarrival gap against its stream predecessor (the quantity a
+// monitor with a last-packet timestamp register observes), and fans
+// packets out to worker shards by a deterministic hash of the 5-tuple,
+// so every flow lives on exactly one shard. Queues are bounded; when a
+// shard falls behind, the configured OverloadPolicy either blocks the
+// ingest (lossless backpressure) or counts-and-drops the overflowing
+// batch — drops are surfaced per shard in every Snapshot, never silent.
+//
+// Each shard runs a configurable online.Sampler plus incremental
+// aggregates over the selected packets: per-bin size and interarrival
+// histogram counts (bins.Scheme), a flows.Table of transport flows, and
+// an nnstat.TopK heavy-hitter sketch. Windowing is driven by a virtual
+// clock — the packet timestamps themselves — so a run is bit-for-bit
+// reproducible regardless of wall-clock speed or scheduling: the ingest
+// emits a barrier marker through every shard queue at each window
+// boundary, and because markers travel in FIFO order with the data, a
+// snapshot reflects exactly the packets that preceded it in the stream
+// (a Chandy-Lamport-style consistent cut over the fan-out DAG).
+//
+// A snapshot collector goroutine merges the per-shard partial states of
+// each barrier into one Snapshot and, when reference Evaluators are
+// configured, scores the merged histogram counts against the reference
+// population with core.Evaluator.ScoreCounts — the same fused φ kernel
+// the batch experiments use, so a single-shard pipeline's snapshot is
+// bit-identical to the batch evaluator on the same trace and seed
+// (pinned by TestSingleShardSnapshotMatchesBatch and the cmd/nsd
+// integration test).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"netsample/internal/bins"
+	"netsample/internal/core"
+	"netsample/internal/online"
+	"netsample/internal/trace"
+)
+
+// Source yields packets in arrival order, one at a time, returning
+// io.EOF when the stream ends. *trace.StreamReader and *trace.Replayer
+// both satisfy it.
+type Source interface {
+	Next() (trace.Packet, error)
+}
+
+// OverloadPolicy selects what the ingest stage does when a shard's
+// bounded work queue is full.
+type OverloadPolicy int
+
+const (
+	// Block applies lossless backpressure: ingest waits for queue space.
+	// This is the deterministic mode — every packet reaches its shard.
+	Block OverloadPolicy = iota
+	// Drop counts and discards the overflowing batch, the NetFlow-style
+	// behavior under export pressure. Drops are reported per shard in
+	// every Snapshot; window barriers are never dropped.
+	Drop
+)
+
+// String names the policy for flags and logs.
+func (p OverloadPolicy) String() string {
+	if p == Drop {
+		return "drop"
+	}
+	return "block"
+}
+
+// Configuration defaults.
+const (
+	DefaultQueueDepth    = 8
+	DefaultBatchSize     = 256
+	DefaultFlowTimeoutUS = 15_000_000 // 15 s idle, the classic NetFlow default
+	DefaultTopKCapacity  = 128
+	DefaultTopKReport    = 10
+)
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Shards is the number of worker shards (>= 1).
+	Shards int
+	// QueueDepth bounds each shard's work queue, in batches
+	// (DefaultQueueDepth if zero).
+	QueueDepth int
+	// BatchSize is the ingest fan-out batch size in packets
+	// (DefaultBatchSize if zero). Larger batches amortize channel
+	// operations; 1 disables batching.
+	BatchSize int
+	// Policy is the overload policy (Block if unset).
+	Policy OverloadPolicy
+
+	// NewSampler builds shard's online sampler. Required. Random
+	// samplers must not share one RNG across shards.
+	NewSampler func(shard int) (online.Sampler, error)
+
+	// SizeScheme and IatScheme bin the two characterization targets
+	// (paper schemes if nil).
+	SizeScheme bins.Scheme
+	IatScheme  bins.Scheme
+
+	// FlowTimeoutUS is the flow idle timeout in µs
+	// (DefaultFlowTimeoutUS if zero).
+	FlowTimeoutUS int64
+	// TopKCapacity is each shard's heavy-hitter sketch size
+	// (DefaultTopKCapacity if zero).
+	TopKCapacity int
+	// TopKReport is the number of merged heavy hitters per Snapshot
+	// (DefaultTopKReport if zero).
+	TopKReport int
+
+	// WindowUS is the snapshot window length on the virtual clock
+	// (packet timestamps), in µs. Zero means a single window closed
+	// when the source drains.
+	WindowUS int64
+
+	// SizeEval and IatEval, when set, score each snapshot's merged
+	// histogram counts against their reference populations
+	// (core.Evaluator.ScoreCounts). Their schemes must match
+	// SizeScheme/IatScheme bin-for-bin.
+	SizeEval *core.Evaluator
+	IatEval  *core.Evaluator
+
+	// OnSnapshot, when set, is invoked from the snapshot collector
+	// goroutine for every published Snapshot, in window order.
+	OnSnapshot func(*Snapshot)
+}
+
+// Errors returned by New and Run.
+var (
+	ErrConfig = errors.New("pipeline: invalid configuration")
+	ErrReused = errors.New("pipeline: Run may be called once per Pipeline")
+)
+
+// Pipeline is one running instance of the streaming characterization
+// node. Build with New, drive with Run, interrogate with Latest or
+// Snapshots.
+type Pipeline struct {
+	cfg    Config
+	shards []*shardState
+
+	barriers chan *barrier
+	seq      uint64 // barrier sequence, ingest-owned
+
+	latest atomic.Pointer[Snapshot]
+	mu     sync.Mutex
+	snaps  []*Snapshot
+
+	stopReq atomic.Bool
+	started atomic.Bool
+	wg      sync.WaitGroup
+	done    chan struct{}
+}
+
+// New validates cfg and builds a ready-to-Run pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("%w: Shards must be >= 1", ErrConfig)
+	}
+	if cfg.NewSampler == nil {
+		return nil, fmt.Errorf("%w: NewSampler is required", ErrConfig)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("%w: QueueDepth must be >= 1", ErrConfig)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("%w: BatchSize must be >= 1", ErrConfig)
+	}
+	if cfg.WindowUS < 0 {
+		return nil, fmt.Errorf("%w: WindowUS must be >= 0", ErrConfig)
+	}
+	if cfg.SizeScheme == nil {
+		cfg.SizeScheme = bins.PacketSize()
+	}
+	if cfg.IatScheme == nil {
+		cfg.IatScheme = bins.Interarrival()
+	}
+	if cfg.FlowTimeoutUS == 0 {
+		cfg.FlowTimeoutUS = DefaultFlowTimeoutUS
+	}
+	if cfg.TopKCapacity == 0 {
+		cfg.TopKCapacity = DefaultTopKCapacity
+	}
+	if cfg.TopKReport == 0 {
+		cfg.TopKReport = DefaultTopKReport
+	}
+	if cfg.SizeEval != nil && cfg.SizeEval.NumBins() != cfg.SizeScheme.NumBins() {
+		return nil, fmt.Errorf("%w: SizeEval has %d bins, SizeScheme %d",
+			ErrConfig, cfg.SizeEval.NumBins(), cfg.SizeScheme.NumBins())
+	}
+	if cfg.IatEval != nil && cfg.IatEval.NumBins() != cfg.IatScheme.NumBins() {
+		return nil, fmt.Errorf("%w: IatEval has %d bins, IatScheme %d",
+			ErrConfig, cfg.IatEval.NumBins(), cfg.IatScheme.NumBins())
+	}
+
+	p := &Pipeline{
+		cfg:      cfg,
+		barriers: make(chan *barrier, cfg.QueueDepth),
+		done:     make(chan struct{}),
+	}
+	p.shards = make([]*shardState, cfg.Shards)
+	for i := range p.shards {
+		sampler, err := cfg.NewSampler(i)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d sampler: %w", i, err)
+		}
+		st, err := newShardState(i, sampler, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.shards[i] = st
+	}
+	return p, nil
+}
+
+// Run drives the pipeline to completion: it ingests src on the calling
+// goroutine until io.EOF, a source error, or Stop, then drains the
+// shards, publishes the final Snapshot, and returns the source error if
+// any. Run may be called once per Pipeline.
+func (p *Pipeline) Run(src Source) error {
+	if !p.started.CompareAndSwap(false, true) {
+		return ErrReused
+	}
+	for _, st := range p.shards {
+		p.wg.Add(1)
+		go p.worker(st)
+	}
+	go p.collect()
+
+	srcErr := p.ingest(src)
+
+	for _, st := range p.shards {
+		close(st.work)
+	}
+	p.wg.Wait()
+	close(p.barriers)
+	<-p.done
+	return srcErr
+}
+
+// Stop asks a concurrent Run to stop ingesting after the packet in
+// flight; Run then drains normally and publishes the final snapshot.
+// Safe to call from any goroutine, any number of times.
+func (p *Pipeline) Stop() { p.stopReq.Store(true) }
+
+// Latest returns the most recently published snapshot.
+func (p *Pipeline) Latest() (*Snapshot, bool) {
+	s := p.latest.Load()
+	return s, s != nil
+}
+
+// Snapshots returns the published snapshots in window order.
+func (p *Pipeline) Snapshots() []*Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Snapshot(nil), p.snaps...)
+}
+
+// ingest is the fan-out stage; it owns the virtual clock and the window
+// barriers. It runs on the Run caller's goroutine.
+func (p *Pipeline) ingest(src Source) error {
+	var (
+		srcErr     error
+		prevTime   int64
+		havePrev   bool
+		winStart   int64
+		nextWin    int64
+		windowing  = p.cfg.WindowUS > 0
+		offeredWin uint64
+		lastTime   int64
+		firstSeen  bool
+	)
+	for !p.stopReq.Load() {
+		pkt, err := src.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				srcErr = fmt.Errorf("pipeline: source: %w", err)
+			}
+			break
+		}
+		if !firstSeen {
+			firstSeen = true
+			winStart = pkt.Time
+			if windowing {
+				nextWin = pkt.Time + p.cfg.WindowUS
+			}
+		}
+		for windowing && pkt.Time >= nextWin {
+			p.emitBarrier(winStart, nextWin, false, offeredWin)
+			offeredWin = 0
+			winStart = nextWin
+			nextWin += p.cfg.WindowUS
+		}
+		it := item{pkt: pkt}
+		if havePrev {
+			it.gapUS = pkt.Time - prevTime
+			it.hasGap = true
+		}
+		prevTime, havePrev = pkt.Time, true
+		lastTime = pkt.Time
+		offeredWin++
+		st := p.shards[p.shardOf(pkt)]
+		st.cur = append(st.cur, it)
+		if len(st.cur) == cap(st.cur) {
+			p.flush(st)
+		}
+	}
+	endUS := lastTime + 1
+	if !firstSeen {
+		winStart, endUS = 0, 0
+	}
+	p.emitBarrier(winStart, endUS, true, offeredWin)
+	return srcErr
+}
+
+// flush hands the shard's current batch to its worker under the
+// configured overload policy. Ingest-goroutine only.
+func (p *Pipeline) flush(st *shardState) {
+	if len(st.cur) == 0 {
+		return
+	}
+	msg := shardMsg{batch: st.cur}
+	if p.cfg.Policy == Block {
+		st.work <- msg
+		st.cur = <-st.free
+		return
+	}
+	select {
+	case st.work <- msg:
+		// Buffer accounting guarantees the free list is non-empty once a
+		// send succeeds: queue holds at most QueueDepth batches, the
+		// worker at most one, and QueueDepth+2 circulate in total.
+		st.cur = <-st.free
+	default:
+		st.droppedTotal += uint64(len(msg.batch))
+		st.cur = msg.batch[:0]
+	}
+}
+
+// emitBarrier flushes every shard's partial batch and then sends a
+// window barrier through every shard queue, so the barrier cuts the
+// stream at exactly this point. Barriers always use blocking sends —
+// overload may drop data batches, never a cut.
+func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64) {
+	for _, st := range p.shards {
+		p.flush(st)
+	}
+	p.seq++
+	bar := &barrier{
+		seq:     p.seq,
+		startUS: startUS,
+		endUS:   endUS,
+		final:   final,
+		offered: offered,
+		dropped: make([]uint64, len(p.shards)),
+		parts:   make(chan shardPart, len(p.shards)),
+	}
+	for i, st := range p.shards {
+		bar.dropped[i] = st.droppedTotal - st.droppedReported
+		st.droppedReported = st.droppedTotal
+	}
+	for _, st := range p.shards {
+		st.work <- shardMsg{bar: bar}
+	}
+	p.barriers <- bar
+}
+
+// shardOf assigns a packet to a shard by an FNV-1a hash of its 5-tuple,
+// so a flow's packets always land on one shard and per-shard flow
+// tables and heavy-hitter sketches are exact partitions.
+func (p *Pipeline) shardOf(pkt trace.Packet) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	for _, b := range pkt.Src {
+		mix(b)
+	}
+	for _, b := range pkt.Dst {
+		mix(b)
+	}
+	mix(byte(pkt.SrcPort))
+	mix(byte(pkt.SrcPort >> 8))
+	mix(byte(pkt.DstPort))
+	mix(byte(pkt.DstPort >> 8))
+	mix(byte(pkt.Protocol))
+	return int(h % uint32(len(p.shards)))
+}
+
+// worker drains one shard's queue: data batches feed the shard state,
+// barrier markers cut and deposit a partial snapshot.
+func (p *Pipeline) worker(st *shardState) {
+	defer p.wg.Done()
+	for msg := range st.work {
+		if msg.bar != nil {
+			msg.bar.parts <- st.cut()
+			continue
+		}
+		for i := range msg.batch {
+			st.process(&msg.batch[i])
+		}
+		st.free <- msg.batch[:0]
+	}
+}

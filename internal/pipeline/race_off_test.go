@@ -1,0 +1,8 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is active; the hot-path
+// allocation pin is skipped under -race because instrumentation
+// perturbs allocation counts.
+const raceEnabled = false

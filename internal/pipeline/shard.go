@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"netsample/internal/bins"
+	"netsample/internal/flows"
+	"netsample/internal/nnstat"
+	"netsample/internal/online"
+	"netsample/internal/trace"
+)
+
+// item is one packet annotated at ingest with its interarrival gap
+// against its predecessor in the full stream — the observation a
+// monitor's last-timestamp register yields. Computing the gap before
+// fan-out keeps the interarrival histogram exact under sharding.
+type item struct {
+	pkt    trace.Packet
+	gapUS  int64
+	hasGap bool
+}
+
+// shardMsg travels a shard's work queue: either a data batch or a
+// window barrier marker, never both.
+type shardMsg struct {
+	batch []item
+	bar   *barrier
+}
+
+// shardState is one worker shard. Field ownership is strict:
+//
+//   - cur, droppedTotal, droppedReported — ingest goroutine only;
+//   - sampler, counts, flows, topk, selected, processed — worker
+//     goroutine only (and the Run caller after wg.Wait);
+//   - work, free — the channels connecting the two.
+type shardState struct {
+	id   int
+	work chan shardMsg
+	free chan []item
+
+	// Ingest-owned.
+	cur             []item
+	droppedTotal    uint64
+	droppedReported uint64
+
+	// Worker-owned.
+	sampler    online.Sampler
+	sizeScheme bins.Scheme
+	iatScheme  bins.Scheme
+	sizeCounts []float64
+	iatCounts  []float64
+	flowTab    *flows.Table
+	topk       *nnstat.TopK
+	topkReport int
+	keyBuf     [13]byte
+	processed  uint64
+	selected   uint64
+}
+
+// newShardState allocates one shard's queues, buffers, and aggregates.
+func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, error) {
+	flowTab, err := flows.NewTable(cfg.FlowTimeoutUS)
+	if err != nil {
+		return nil, err
+	}
+	topk, err := nnstat.NewTopK(cfg.TopKCapacity)
+	if err != nil {
+		return nil, err
+	}
+	st := &shardState{
+		id:   id,
+		work: make(chan shardMsg, cfg.QueueDepth),
+		// QueueDepth+2 batch buffers circulate per shard: at most
+		// QueueDepth queued, one held by the worker, one being filled by
+		// ingest — so after any successful send the free list cannot be
+		// empty and ingest never deadlocks on buffer recycling.
+		free:       make(chan []item, cfg.QueueDepth+1),
+		cur:        make([]item, 0, cfg.BatchSize),
+		sampler:    sampler,
+		sizeScheme: cfg.SizeScheme,
+		iatScheme:  cfg.IatScheme,
+		sizeCounts: make([]float64, cfg.SizeScheme.NumBins()),
+		iatCounts:  make([]float64, cfg.IatScheme.NumBins()),
+		flowTab:    flowTab,
+		topk:       topk,
+		topkReport: cfg.TopKReport,
+	}
+	for i := 0; i < cfg.QueueDepth+1; i++ {
+		st.free <- make([]item, 0, cfg.BatchSize)
+	}
+	return st, nil
+}
+
+// process offers one packet to the shard's sampler and, if selected,
+// feeds the incremental aggregates. This is the per-packet hot path —
+// it must not allocate (pinned by TestPipelineHotPathAllocs).
+func (st *shardState) process(it *item) {
+	st.processed++
+	if !st.sampler.Offer(it.pkt.Time) {
+		return
+	}
+	st.selected++
+	st.sizeCounts[st.sizeScheme.Index(float64(it.pkt.Size))]++
+	if it.hasGap {
+		st.iatCounts[st.iatScheme.Index(float64(it.gapUS))]++
+	}
+	st.flowTab.Add(it.pkt)
+	k := &st.keyBuf
+	copy(k[0:4], it.pkt.Src[:])
+	copy(k[4:8], it.pkt.Dst[:])
+	k[8] = byte(it.pkt.SrcPort)
+	k[9] = byte(it.pkt.SrcPort >> 8)
+	k[10] = byte(it.pkt.DstPort)
+	k[11] = byte(it.pkt.DstPort >> 8)
+	k[12] = byte(it.pkt.Protocol)
+	st.topk.AddBytes(k[:], 1)
+}
+
+// cut snapshots the shard's window-local aggregates into a shardPart
+// and resets them for the next window. The sampler is deliberately not
+// reset: its selection schedule continues across windows, exactly as a
+// batch sampler runs uninterrupted over the whole trace.
+func (st *shardState) cut() shardPart {
+	part := shardPart{
+		shard:       st.id,
+		processed:   st.processed,
+		selected:    st.selected,
+		sizeCounts:  append([]float64(nil), st.sizeCounts...),
+		iatCounts:   append([]float64(nil), st.iatCounts...),
+		activeFlows: st.flowTab.ActiveCount(),
+		topk:        st.topk.Top(st.topkReport),
+	}
+	part.flows = flows.CountFlows(st.flowTab.Flush())
+	st.processed, st.selected = 0, 0
+	clearFloats(st.sizeCounts)
+	clearFloats(st.iatCounts)
+	st.topk.Reset()
+	return part
+}
+
+func clearFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

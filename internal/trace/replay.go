@@ -1,0 +1,32 @@
+package trace
+
+import "io"
+
+// Replayer streams an in-memory trace packet by packet, presenting the
+// same Next contract as StreamReader — any consumer of a live stream
+// can be driven from a recorded or generated trace for tests,
+// benchmarks, and deterministic daemon runs.
+type Replayer struct {
+	packets []Packet
+	pos     int
+}
+
+// Replay returns a Replayer positioned at the start of the trace. The
+// replayer reads the packet slice directly; mutating the trace during
+// replay is the caller's bug.
+func (t *Trace) Replay() *Replayer {
+	return &Replayer{packets: t.Packets}
+}
+
+// Next returns the next packet, or io.EOF when the trace is exhausted.
+func (r *Replayer) Next() (Packet, error) {
+	if r.pos >= len(r.packets) {
+		return Packet{}, io.EOF
+	}
+	p := r.packets[r.pos]
+	r.pos++
+	return p, nil
+}
+
+// Rewind repositions the replayer at the start of the trace.
+func (r *Replayer) Rewind() { r.pos = 0 }

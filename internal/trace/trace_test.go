@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"io"
 	"testing"
 	"time"
 
@@ -174,5 +175,37 @@ func TestWireBytesUDPAndICMP(t *testing.T) {
 	}
 	if len(wire) != packet.IPv4HeaderLen {
 		t.Fatalf("non-transport packet length %d", len(wire))
+	}
+}
+
+// TestReplayerMatchesTrace checks Replay streams the exact packet
+// sequence and terminates with io.EOF, and Rewind restarts it.
+func TestReplayerMatchesTrace(t *testing.T) {
+	tr := &Trace{Packets: []Packet{
+		{Time: 1, Size: 40},
+		{Time: 2, Size: 552},
+		{Time: 5, Size: 1500},
+	}}
+	r := tr.Replay()
+	for pass := 0; pass < 2; pass++ {
+		for i, want := range tr.Packets {
+			got, err := r.Next()
+			if err != nil {
+				t.Fatalf("pass %d packet %d: %v", pass, i, err)
+			}
+			if got != want {
+				t.Errorf("pass %d packet %d = %+v, want %+v", pass, i, got, want)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("pass %d: end error = %v, want io.EOF", pass, err)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatal("EOF is not sticky")
+		}
+		r.Rewind()
+	}
+	if _, err := (&Trace{}).Replay().Next(); err != io.EOF {
+		t.Errorf("empty trace replay error = %v, want io.EOF", err)
 	}
 }
