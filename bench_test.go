@@ -952,6 +952,30 @@ func (l *loopSource) Next() (trace.Packet, error) {
 	return p, nil
 }
 
+// NextBatch is the amortized form the pipeline's reader prefers: it
+// cycles whole runs of the backing trace into dst.
+func (l *loopSource) NextBatch(dst []trace.Packet) (int, error) {
+	if l.pos >= l.n {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if left := l.n - l.pos; left < n {
+		n = left
+	}
+	for k := 0; k < n; k++ {
+		p := l.packets[l.i]
+		l.i++
+		if l.i == len(l.packets) {
+			l.i = 0
+			l.shiftUS += l.spanUS
+		}
+		p.Time += l.shiftUS
+		dst[k] = p
+	}
+	l.pos += n
+	return n, nil
+}
+
 // BenchmarkPipelineThroughput measures the streaming pipeline's
 // end-to-end packet rate (ingest → shard → sample → aggregate) by shard
 // count, with one benchmark op = one packet. The ingest runs on the
@@ -963,6 +987,9 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
 			p, err := pipeline.New(pipeline.Config{
 				Shards: shards,
+				// Scale the parallel hash/fan-out stage with the shards: one
+				// worker keeps up with up to two shards.
+				IngestWorkers: (shards + 1) / 2,
 				NewSampler: func(int) (online.Sampler, error) {
 					return online.NewSystematic(50, 0)
 				},

@@ -5,12 +5,22 @@
 //
 // Usage:
 //
-//	bench [-bench regex] [-benchtime 1x] [-count 1] [-pkg .] [-o BENCH.json]
-//	      [-compare old.json] [-tolerance 1.25] [-warn-only]
+//	bench [-bench regex] [-benchtime 1x] [-count 1] [-pkg .] [-cpu list]
+//	      [-o BENCH.json] [-append] [-compare old.json] [-tolerance 1.25]
+//	      [-warn-only]
 //
 // The output is deliberately free of timestamps and host-volatile noise
 // beyond the cpu/goos/goarch header go test itself reports: the file is
 // meant to be checked in, and git history supplies the dates.
+//
+// With -cpu, the selected benchmarks run once per GOMAXPROCS count
+// (go test's -cpu list); the results keep their -N suffix as the
+// parsed Procs field and pair suffix-for-suffix under -compare, so a
+// multi-core scaling curve can be recorded next to the single-proc
+// suite. With -append, the results merge into an existing output file
+// instead of replacing it — same-name+procs entries are overwritten in
+// place, new ones append — which is how the scaling runs land in the
+// checked-in BENCH.json without rerunning everything.
 //
 // With -compare, the run is also diffed against a baseline file
 // (typically the checked-in BENCH.json): per-benchmark and geomean
@@ -40,20 +50,25 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "per-benchmark duration or iteration count")
 	count := flag.Int("count", 1, "number of runs per benchmark")
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
+	cpu := flag.String("cpu", "", "GOMAXPROCS list passed to go test -cpu (e.g. 1,2,4)")
 	out := flag.String("o", "BENCH.json", "output file; - writes to stdout")
+	appendOut := flag.Bool("append", false, "merge results into an existing -o file by name+procs")
 	compare := flag.String("compare", "", "baseline BENCH.json to diff the run against")
 	tolerance := flag.Float64("tolerance", 1.25, "regression threshold ratio for -compare")
 	warnOnly := flag.Bool("warn-only", false, "report -compare regressions without failing")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test",
+	args := []string{"test",
 		"-run=^$",
-		"-bench="+*benchRe,
+		"-bench=" + *benchRe,
 		"-benchmem",
-		"-benchtime="+*benchtime,
+		"-benchtime=" + *benchtime,
 		fmt.Sprintf("-count=%d", *count),
-		*pkg,
-	)
+	}
+	if *cpu != "" {
+		args = append(args, "-cpu="+*cpu)
+	}
+	cmd := exec.Command("go", append(args, *pkg)...)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = os.Stderr
@@ -72,6 +87,14 @@ func main() {
 		log.Fatalf("no benchmarks matched %q in %s", *benchRe, *pkg)
 	}
 	f.GoVersion = runtime.Version()
+
+	if *appendOut && *out != "-" {
+		if prev, err := readFile(*out); err == nil {
+			f = mergeFiles(prev, f)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("append: %v", err)
+		}
+	}
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -92,17 +115,11 @@ func main() {
 	if *compare == "" {
 		return
 	}
-	base, err := os.Open(*compare)
+	old, err := readFile(*compare)
 	if err != nil {
 		log.Fatalf("compare: %v", err)
 	}
-	var old benchjson.File
-	err = json.NewDecoder(base).Decode(&old)
-	base.Close()
-	if err != nil {
-		log.Fatalf("compare: parse %s: %v", *compare, err)
-	}
-	cmp := benchjson.Compare(&old, f)
+	cmp := benchjson.Compare(old, f)
 	fmt.Print(cmp.Format(*tolerance))
 	if regs := cmp.Regressions(*tolerance); len(regs) > 0 {
 		if *warnOnly {
@@ -111,4 +128,42 @@ func main() {
 		}
 		log.Fatalf("%d benchmarks regressed beyond %.2fx", len(regs), *tolerance)
 	}
+}
+
+// readFile loads a BENCH.json file.
+func readFile(path string) (*benchjson.File, error) {
+	g, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	var f benchjson.File
+	if err := json.NewDecoder(g).Decode(&f); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// mergeFiles overlays cur's results onto prev: entries with the same
+// full name (including the -N procs suffix) are replaced in place, new
+// ones append in run order. Header fields come from the newer run.
+func mergeFiles(prev, cur *benchjson.File) *benchjson.File {
+	merged := *cur
+	merged.Benchmarks = append([]benchjson.Benchmark(nil), prev.Benchmarks...)
+	index := make(map[string]int, len(merged.Benchmarks))
+	for i := range merged.Benchmarks {
+		name := merged.Benchmarks[i].FullName()
+		if _, dup := index[name]; !dup {
+			index[name] = i
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if i, ok := index[b.FullName()]; ok {
+			merged.Benchmarks[i] = b
+		} else {
+			index[b.FullName()] = len(merged.Benchmarks)
+			merged.Benchmarks = append(merged.Benchmarks, b)
+		}
+	}
+	return &merged
 }

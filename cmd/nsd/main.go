@@ -17,16 +17,27 @@
 // windowing runs on the virtual clock of the packet timestamps. With
 // one shard, the final snapshot's reports are bit-identical to the
 // batch evaluator in internal/core on the same trace and seed (pinned
-// by a tier-1 test). SIGINT/SIGTERM drain the pipeline cleanly and the
-// final snapshot is printed before exit.
+// by a tier-1 test); -ingest-workers parallelizes the hash/fan-out
+// stage without changing any output under the block policy.
+// SIGINT/SIGTERM drain the pipeline cleanly and the final snapshot is
+// printed before exit.
+//
+// Profiling: -pprof serves net/http/pprof on the given address, and
+// -mutex-profile-fraction / -block-profile-rate enable the runtime's
+// contention profilers, so ring and scheduler behavior is observable in
+// production runs (see README for a capture recipe).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,20 +64,44 @@ func main() {
 		pps     = flag.Float64("pps", 424, "generated average packets per second (-gen)")
 		method  = flag.String("method", "systematic",
 			"sampling method: systematic, stratified, systematic-timer, stratified-timer")
-		k           = flag.Int("k", 100, "sampling granularity (1 in k packets, or the timer equivalent)")
-		shards      = flag.Int("shards", 1, "worker shard count")
-		window      = flag.Duration("window", 0, "snapshot window on the trace's virtual clock (0 = one final window)")
-		seed        = flag.Uint64("seed", 1993, "root RNG seed for random methods and -gen")
-		queue       = flag.Int("queue", pipeline.DefaultQueueDepth, "per-shard queue depth in batches")
-		batch       = flag.Int("batch", pipeline.DefaultBatchSize, "ingest batch size in packets")
-		policy      = flag.String("policy", "block", "overload policy: block or drop")
-		topk        = flag.Int("topk", pipeline.DefaultTopKReport, "heavy-hitter flows per snapshot")
-		flowTimeout = flag.Duration("flow-timeout", 15*time.Second, "flow idle timeout on the virtual clock")
-		name        = flag.String("name", "nsd", "node name in exported snapshots")
-		once        = flag.Bool("once", false, "exit when the source drains instead of serving until a signal")
-		quiet       = flag.Bool("q", false, "suppress per-window snapshot lines")
+		k             = flag.Int("k", 100, "sampling granularity (1 in k packets, or the timer equivalent)")
+		shards        = flag.Int("shards", 1, "worker shard count")
+		ingestWorkers = flag.Int("ingest-workers", 1, "parallel ingest (hash/fan-out) workers")
+		window        = flag.Duration("window", 0, "snapshot window on the trace's virtual clock (0 = one final window)")
+		seed          = flag.Uint64("seed", 1993, "root RNG seed for random methods and -gen")
+		queue         = flag.Int("queue", pipeline.DefaultQueueDepth, "per-shard queue depth in batches")
+		batch         = flag.Int("batch", pipeline.DefaultBatchSize, "ingest batch size in packets")
+		policy        = flag.String("policy", "block", "overload policy: block or drop")
+		topk          = flag.Int("topk", pipeline.DefaultTopKReport, "heavy-hitter flows per snapshot")
+		flowTimeout   = flag.Duration("flow-timeout", 15*time.Second, "flow idle timeout on the virtual clock")
+		name          = flag.String("name", "nsd", "node name in exported snapshots")
+		once          = flag.Bool("once", false, "exit when the source drains instead of serving until a signal")
+		quiet         = flag.Bool("q", false, "suppress per-window snapshot lines")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
+		mutexFrac     = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate (0 = off)")
+		blockRate     = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate in ns (0 = off)")
 	)
 	flag.Parse()
+
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on %s", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	if (*in == "") == !*gen {
 		log.Fatal("exactly one of -in or -gen is required")
@@ -84,6 +119,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.IngestWorkers = *ingestWorkers
 	if !*quiet {
 		cfg.OnSnapshot = func(s *pipeline.Snapshot) {
 			fmt.Println(summarize(s))

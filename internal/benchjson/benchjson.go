@@ -39,6 +39,19 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// FullName is the benchmark's identity including the GOMAXPROCS
+// suffix, matching the `-N` form go test prints on multi-proc runs.
+// Runs of the same benchmark at different -cpu counts are distinct
+// results and must be paired suffix-for-suffix when comparing files.
+func (b *Benchmark) FullName() string {
+	if b.Procs <= 1 {
+		// Parse normalizes an absent suffix to Procs 1; a -1 line also
+		// parses to 1, so both forms pair under the bare name.
+		return b.Name
+	}
+	return fmt.Sprintf("%s-%d", b.Name, b.Procs)
+}
+
 // File is the parsed output of one `go test -bench` invocation.
 type File struct {
 	// GoVersion is the toolchain that produced the run (filled by the

@@ -9,6 +9,9 @@ import (
 
 // Delta is one benchmark's ns/op movement between two runs.
 type Delta struct {
+	// Name is the benchmark's full name including the -N GOMAXPROCS
+	// suffix, so the same benchmark at different -cpu counts diffs as
+	// distinct series.
 	Name  string
 	OldNs float64
 	NewNs float64
@@ -32,39 +35,44 @@ type Comparison struct {
 }
 
 // Compare diffs the current run against a baseline. Benchmarks are
-// matched by name; a name appearing multiple times (e.g. -count > 1)
-// uses its first occurrence on each side.
+// matched by full name including the -N GOMAXPROCS suffix (so -cpu
+// 1,2,4 series pair count-for-count); a name appearing multiple times
+// (e.g. -count > 1) uses its first occurrence on each side.
 func Compare(old, cur *File) Comparison {
 	c := Comparison{GeomeanRatio: 1}
 	oldNs := make(map[string]float64, len(old.Benchmarks))
-	for _, b := range old.Benchmarks {
-		if _, dup := oldNs[b.Name]; !dup {
-			oldNs[b.Name] = b.NsPerOp
+	for i := range old.Benchmarks {
+		name := old.Benchmarks[i].FullName()
+		if _, dup := oldNs[name]; !dup {
+			oldNs[name] = old.Benchmarks[i].NsPerOp
 		}
 	}
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	var logSum float64
-	for _, b := range cur.Benchmarks {
-		if seen[b.Name] {
+	for i := range cur.Benchmarks {
+		b := &cur.Benchmarks[i]
+		name := b.FullName()
+		if seen[name] {
 			continue
 		}
-		seen[b.Name] = true
-		o, ok := oldNs[b.Name]
+		seen[name] = true
+		o, ok := oldNs[name]
 		if !ok {
-			c.OnlyNew = append(c.OnlyNew, b.Name)
+			c.OnlyNew = append(c.OnlyNew, name)
 			continue
 		}
 		if o <= 0 || b.NsPerOp <= 0 {
 			continue
 		}
-		d := Delta{Name: b.Name, OldNs: o, NewNs: b.NsPerOp, Ratio: b.NsPerOp / o}
+		d := Delta{Name: name, OldNs: o, NewNs: b.NsPerOp, Ratio: b.NsPerOp / o}
 		c.Deltas = append(c.Deltas, d)
 		logSum += math.Log(d.Ratio)
 	}
-	for _, b := range old.Benchmarks {
-		if !seen[b.Name] {
-			c.OnlyOld = append(c.OnlyOld, b.Name)
-			seen[b.Name] = true
+	for i := range old.Benchmarks {
+		name := old.Benchmarks[i].FullName()
+		if !seen[name] {
+			c.OnlyOld = append(c.OnlyOld, name)
+			seen[name] = true
 		}
 	}
 	sort.Strings(c.OnlyOld)

@@ -57,6 +57,43 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestComparePairsByProcs checks -cpu series pair suffix-for-suffix:
+// the same benchmark at different GOMAXPROCS counts must diff as
+// distinct results, never cross-pair.
+func TestComparePairsByProcs(t *testing.T) {
+	mk := func(ns1, ns4 float64) *File {
+		return &File{Benchmarks: []Benchmark{
+			{Name: "BenchmarkPipe", Procs: 1, NsPerOp: ns1},
+			{Name: "BenchmarkPipe", Procs: 4, NsPerOp: ns4},
+		}}
+	}
+	c := Compare(mk(100, 400), mk(110, 100))
+	if len(c.Deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(c.Deltas), c.Deltas)
+	}
+	byName := map[string]float64{}
+	for _, d := range c.Deltas {
+		byName[d.Name] = d.Ratio
+	}
+	if r := byName["BenchmarkPipe"]; math.Abs(r-1.1) > 1e-12 {
+		t.Errorf("Procs=1 ratio = %v, want 1.1", r)
+	}
+	if r := byName["BenchmarkPipe-4"]; math.Abs(r-0.25) > 1e-12 {
+		t.Errorf("Procs=4 ratio = %v, want 0.25", r)
+	}
+	// A -cpu count present on only one side is reported, not paired.
+	c = Compare(mk(100, 400), &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkPipe", Procs: 1, NsPerOp: 100},
+		{Name: "BenchmarkPipe", Procs: 2, NsPerOp: 200},
+	}})
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkPipe-2" {
+		t.Errorf("OnlyNew = %v, want [BenchmarkPipe-2]", c.OnlyNew)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkPipe-4" {
+		t.Errorf("OnlyOld = %v, want [BenchmarkPipe-4]", c.OnlyOld)
+	}
+}
+
 func TestCompareEdgeCases(t *testing.T) {
 	// Empty inputs: neutral geomean, no deltas.
 	c := Compare(&File{}, &File{})

@@ -1,0 +1,226 @@
+package pipeline
+
+import (
+	"sync/atomic"
+
+	"netsample/internal/trace"
+)
+
+// BatchSource is the amortized form of Source: it fills dst with the
+// next packets of the stream, returning how many it wrote. Like
+// io.Reader, it may return n > 0 alongside an error (including io.EOF);
+// those packets precede the error in the stream. Run prefers this
+// interface when a Source implements it — one interface call per batch
+// instead of per packet. *trace.Replayer and *trace.StreamReader
+// implement it natively.
+type BatchSource interface {
+	NextBatch(dst []trace.Packet) (int, error)
+}
+
+// AsBatch adapts a per-packet Source to BatchSource. If src already
+// implements BatchSource it is returned unchanged.
+func AsBatch(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &batchAdapter{src: src}
+}
+
+// batchAdapter loops a per-packet Source to fill batches. The optional
+// stop flag preserves Stop's packet-granular contract on adapted
+// sources: the fill ends at the first packet delivered after the stop
+// request, exactly where the per-packet read loop would have ended.
+type batchAdapter struct {
+	src  Source
+	stop *atomic.Bool
+}
+
+func (a *batchAdapter) NextBatch(dst []trace.Packet) (int, error) {
+	n := 0
+	for n < len(dst) {
+		pkt, err := a.src.Next()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = pkt
+		n++
+		if a.stop != nil && a.stop.Load() {
+			break
+		}
+	}
+	return n, nil
+}
+
+// unitBuf is one reader-owned batch buffer: packets plus their
+// precomputed interarrival gaps, recycled through a per-ingest-worker
+// free ring. pkts and gaps are full-length (BatchSize); srcUnit.n says
+// how much is valid.
+type unitBuf struct {
+	pkts []trace.Packet
+	gaps []int64
+	// noGap0 marks the unit whose first packet is the stream's first —
+	// the only packet with no interarrival observation.
+	noGap0 bool
+}
+
+// srcUnit is one sequence-numbered element of the reader→ingest stream:
+// either a data batch (buf, n) or a window-barrier fragment (bar). The
+// sequence numbers are dense and global — unit q goes to ingest worker
+// q mod N, and a barrier consumes exactly N consecutive numbers (one
+// fragment per worker) — so the round-robin phase is position-invariant
+// and every shard can reconstruct global stream order from its rings.
+type srcUnit struct {
+	seq uint64
+	buf *unitBuf
+	n   int
+	bar *barrier
+}
+
+// ingestState is one parallel ingest worker: it consumes its share of
+// the unit stream, hashes packets to shards, and publishes per-shard
+// item batches. Field ownership: in and freeUnits connect to the
+// reader; out[s] and freeItems[s] connect to shard s; cur and
+// droppedSince are worker-local.
+type ingestState struct {
+	id        int
+	in        *spsc[srcUnit]
+	freeUnits *spsc[*unitBuf]
+	out       []*spsc[shardMsg]
+	freeItems []*spsc[[]item]
+
+	// Worker-local.
+	cur          [][]item
+	droppedSince []uint64
+}
+
+// newIngestState allocates one ingest worker's rings and buffer pools.
+func newIngestState(id int, cfg *Config) *ingestState {
+	ig := &ingestState{
+		id:           id,
+		in:           newSPSC[srcUnit](cfg.QueueDepth),
+		freeUnits:    newSPSC[*unitBuf](cfg.QueueDepth + 2),
+		out:          make([]*spsc[shardMsg], cfg.Shards),
+		freeItems:    make([]*spsc[[]item], cfg.Shards),
+		cur:          make([][]item, cfg.Shards),
+		droppedSince: make([]uint64, cfg.Shards),
+	}
+	// QueueDepth+2 unit buffers circulate per worker: at most QueueDepth
+	// queued, one held by the worker, one being filled by the reader —
+	// so the reader's free-ring pop can stall only transiently, never
+	// deadlock.
+	for i := 0; i < cfg.QueueDepth+2; i++ {
+		ig.freeUnits.tryPush(&unitBuf{
+			pkts: make([]trace.Packet, cfg.BatchSize),
+			gaps: make([]int64, cfg.BatchSize),
+		})
+	}
+	for s := range ig.out {
+		ig.out[s] = newSPSC[shardMsg](cfg.QueueDepth)
+		// Item buffers mirror the unit-buffer accounting per (worker,
+		// shard) edge: QueueDepth queued + 1 at the shard + 1 filling.
+		ig.freeItems[s] = newSPSC[[]item](cfg.QueueDepth + 2)
+		for i := 0; i < cfg.QueueDepth+1; i++ {
+			ig.freeItems[s].tryPush(make([]item, 0, cfg.BatchSize))
+		}
+		ig.cur[s] = make([]item, 0, cfg.BatchSize)
+	}
+	return ig
+}
+
+// shardIndex assigns a packet to one of n shards by an FNV-1a hash of
+// its 5-tuple (addresses, ports little-endian, protocol), so a flow's
+// packets always land on one shard.
+func shardIndex(pkt *trace.Packet, n int) int {
+	if n == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(pkt.Src[0])) * prime32
+	h = (h ^ uint32(pkt.Src[1])) * prime32
+	h = (h ^ uint32(pkt.Src[2])) * prime32
+	h = (h ^ uint32(pkt.Src[3])) * prime32
+	h = (h ^ uint32(pkt.Dst[0])) * prime32
+	h = (h ^ uint32(pkt.Dst[1])) * prime32
+	h = (h ^ uint32(pkt.Dst[2])) * prime32
+	h = (h ^ uint32(pkt.Dst[3])) * prime32
+	h = (h ^ uint32(byte(pkt.SrcPort))) * prime32
+	h = (h ^ uint32(byte(pkt.SrcPort>>8))) * prime32
+	h = (h ^ uint32(byte(pkt.DstPort))) * prime32
+	h = (h ^ uint32(byte(pkt.DstPort>>8))) * prime32
+	h = (h ^ uint32(byte(pkt.Protocol))) * prime32
+	return int(h % uint32(n))
+}
+
+// ingestWorker drains one worker's unit ring: data units are hashed and
+// partitioned into per-shard item batches, barrier fragments are
+// forwarded to every shard. Every unit — including one contributing
+// nothing to a shard — publishes a message on every out ring, so a
+// shard's sequence-ordered consume always makes progress: the head of
+// ring w is the worker's next message, and its sequence number proves
+// which earlier units produced nothing (or were dropped).
+func (p *Pipeline) ingestWorker(ig *ingestState) {
+	defer p.ingestWG.Done()
+	block := p.cfg.Policy == Block
+	for {
+		u, ok := ig.in.pop()
+		if !ok {
+			break
+		}
+		if u.bar != nil {
+			// Barrier fragments always use blocking pushes — overload may
+			// drop data, never a cut — and flush the pending drop deltas so
+			// every drop is accounted to the window it happened in.
+			for s := range ig.out {
+				ig.out[s].push(shardMsg{seq: u.seq, bar: u.bar, dropped: ig.droppedSince[s]})
+				ig.droppedSince[s] = 0
+			}
+			continue
+		}
+		buf := u.buf
+		for i := 0; i < u.n; i++ {
+			s := shardIndex(&buf.pkts[i], len(ig.out))
+			ig.cur[s] = append(ig.cur[s], item{
+				pkt:    buf.pkts[i],
+				gapUS:  buf.gaps[i],
+				hasGap: !(buf.noGap0 && i == 0),
+			})
+		}
+		for s := range ig.out {
+			items := ig.cur[s]
+			if len(items) == 0 {
+				// Progress marker: no packets for this shard in this unit.
+				msg := shardMsg{seq: u.seq, dropped: ig.droppedSince[s]}
+				if block {
+					ig.out[s].push(msg)
+					ig.droppedSince[s] = 0
+				} else if ig.out[s].tryPush(msg) {
+					ig.droppedSince[s] = 0
+				}
+				// A failed empty push loses nothing: the shard skips the
+				// sequence number when it sees a later one.
+				continue
+			}
+			msg := shardMsg{seq: u.seq, items: items, dropped: ig.droppedSince[s]}
+			if block {
+				ig.out[s].push(msg)
+			} else if !ig.out[s].tryPush(msg) {
+				ig.droppedSince[s] += uint64(len(items))
+				ig.cur[s] = items[:0] // keep the buffer; the batch is shed
+				continue
+			}
+			ig.droppedSince[s] = 0
+			// Buffer accounting guarantees a free item buffer once a push
+			// succeeds (QueueDepth queued + 1 at the shard + this one).
+			next, _ := ig.freeItems[s].pop()
+			ig.cur[s] = next[:0]
+		}
+		ig.freeUnits.push(buf)
+	}
+	for s := range ig.out {
+		ig.out[s].close()
+	}
+}

@@ -8,32 +8,53 @@
 //
 // Architecture (DESIGN.md §10):
 //
-//	Source ──ingest──▶ shard 0 work queue ──worker──▶ shard 0 state
-//	           │     ▶ shard 1 work queue ──worker──▶ shard 1 state
-//	           │          ...                             │ snapshot
-//	           └─ window barrier markers ─────────────────▶ merge/score
+//	            reader (Run goroutine)
+//	               │  batches + gap stamps + window barriers,
+//	               │  sequence-numbered, round-robin
+//	    ┌──────────┴──────────┐        per-worker SPSC ring
+//	ingest worker 0 … ingest worker N-1    (5-tuple hashing)
+//	    │        ╲    ╱        │       per-(worker,shard) SPSC rings
+//	shard 0 ──────╳╳──────  shard S-1      (seq-ordered consume)
+//	    │ snapshot parts       │
+//	    └───── collector ──────┘       merge / score / publish
 //
-// The ingest stage runs on the goroutine that calls Run: it pulls
-// packets from any Source (an NSTR stream reader, an in-memory trace
-// replay, a generated workload), stamps each packet with its
-// interarrival gap against its stream predecessor (the quantity a
-// monitor with a last-packet timestamp register observes), and fans
-// packets out to worker shards by a deterministic hash of the 5-tuple,
-// so every flow lives on exactly one shard. Queues are bounded; when a
-// shard falls behind, the configured OverloadPolicy either blocks the
-// ingest (lossless backpressure) or counts-and-drops the overflowing
-// batch — drops are surfaced per shard in every Snapshot, never silent.
+// The reader runs on the goroutine that calls Run: it pulls packet
+// batches from any Source (preferring the amortized BatchSource form —
+// an NSTR stream reader, an in-memory trace replay, a generated
+// workload), stamps each packet with its interarrival gap against its
+// stream predecessor (the quantity a monitor with a last-packet
+// timestamp register observes), and hands sequence-numbered batch
+// units round-robin to N ingest workers. Each ingest worker hashes its
+// units' packets to shards by a deterministic FNV-1a of the 5-tuple —
+// so every flow lives on exactly one shard — and publishes per-shard
+// item batches into lock-free single-producer/single-consumer rings,
+// one per (worker, shard) pair. A shard worker consumes its N rings in
+// global sequence order, so the packets of one shard are processed in
+// exact stream order regardless of how many ingest workers raced to
+// hash them: with the Block policy the pipeline is deterministic for
+// any worker count, and a single-shard run is bit-identical to the
+// batch evaluator (TestSingleShardSnapshotMatchesBatch).
+//
+// All queues are bounded; when a shard falls behind, the configured
+// OverloadPolicy either blocks the fan-out (lossless backpressure all
+// the way to the reader) or counts-and-drops the overflowing batch —
+// drop deltas ride the next message on the same ring, so the per-window
+// accounting invariant Offered == Processed + Dropped is exact and
+// drops are surfaced per shard in every Snapshot, never silent.
 //
 // Each shard runs a configurable online.Sampler plus incremental
 // aggregates over the selected packets: per-bin size and interarrival
 // histogram counts (bins.Scheme), a flows.Table of transport flows, and
 // an nnstat.TopK heavy-hitter sketch. Windowing is driven by a virtual
 // clock — the packet timestamps themselves — so a run is bit-for-bit
-// reproducible regardless of wall-clock speed or scheduling: the ingest
-// emits a barrier marker through every shard queue at each window
-// boundary, and because markers travel in FIFO order with the data, a
-// snapshot reflects exactly the packets that preceded it in the stream
-// (a Chandy-Lamport-style consistent cut over the fan-out DAG).
+// reproducible regardless of wall-clock speed or scheduling: the reader
+// emits a window barrier as one marker unit per ingest worker (N
+// consecutive sequence numbers), each worker forwards its fragment
+// through every shard ring, and a shard's cut happens when it has
+// consumed all N fragments — because messages travel in sequence order
+// with the data, a snapshot reflects exactly the packets that preceded
+// the cut in the stream (a Chandy-Lamport-style consistent cut over the
+// fan-out DAG).
 //
 // A snapshot collector goroutine merges the per-shard partial states of
 // each barrier into one Snapshot and, when reference Evaluators are
@@ -60,18 +81,20 @@ import (
 
 // Source yields packets in arrival order, one at a time, returning
 // io.EOF when the stream ends. *trace.StreamReader and *trace.Replayer
-// both satisfy it.
+// both satisfy it (and also the amortized BatchSource, which Run
+// prefers when available).
 type Source interface {
 	Next() (trace.Packet, error)
 }
 
-// OverloadPolicy selects what the ingest stage does when a shard's
-// bounded work queue is full.
+// OverloadPolicy selects what the fan-out does when a shard's bounded
+// work ring is full.
 type OverloadPolicy int
 
 const (
-	// Block applies lossless backpressure: ingest waits for queue space.
-	// This is the deterministic mode — every packet reaches its shard.
+	// Block applies lossless backpressure: the fan-out waits for ring
+	// space. This is the deterministic mode — every packet reaches its
+	// shard.
 	Block OverloadPolicy = iota
 	// Drop counts and discards the overflowing batch, the NetFlow-style
 	// behavior under export pressure. Drops are reported per shard in
@@ -100,12 +123,18 @@ const (
 type Config struct {
 	// Shards is the number of worker shards (>= 1).
 	Shards int
-	// QueueDepth bounds each shard's work queue, in batches
+	// IngestWorkers is the number of parallel hash/fan-out workers
+	// between the reader and the shards (1 if zero). Under the Block
+	// policy the pipeline output is identical for any worker count;
+	// more workers spread the 5-tuple hashing and ring publishing
+	// across cores when the shards outrun a single fan-out goroutine.
+	IngestWorkers int
+	// QueueDepth bounds each ring of the fan-out DAG, in batches
 	// (DefaultQueueDepth if zero).
 	QueueDepth int
-	// BatchSize is the ingest fan-out batch size in packets
-	// (DefaultBatchSize if zero). Larger batches amortize channel
-	// operations; 1 disables batching.
+	// BatchSize is the reader's batch size in packets
+	// (DefaultBatchSize if zero). Larger batches amortize source calls
+	// and ring operations; 1 disables batching.
 	BatchSize int
 	// Policy is the overload policy (Block if unset).
 	Policy OverloadPolicy
@@ -158,18 +187,21 @@ var (
 type Pipeline struct {
 	cfg    Config
 	shards []*shardState
+	ingest []*ingestState
 
 	barriers chan *barrier
-	seq      uint64 // barrier sequence, ingest-owned
+	useq     uint64 // unit sequence, reader-owned
+	winSeq   uint64 // window sequence, reader-owned
 
 	latest atomic.Pointer[Snapshot]
 	mu     sync.Mutex
 	snaps  []*Snapshot
 
-	stopReq atomic.Bool
-	started atomic.Bool
-	wg      sync.WaitGroup
-	done    chan struct{}
+	stopReq  atomic.Bool
+	started  atomic.Bool
+	ingestWG sync.WaitGroup
+	shardWG  sync.WaitGroup
+	done     chan struct{}
 }
 
 // New validates cfg and builds a ready-to-Run pipeline.
@@ -179,6 +211,12 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.NewSampler == nil {
 		return nil, fmt.Errorf("%w: NewSampler is required", ErrConfig)
+	}
+	if cfg.IngestWorkers == 0 {
+		cfg.IngestWorkers = 1
+	}
+	if cfg.IngestWorkers < 1 {
+		return nil, fmt.Errorf("%w: IngestWorkers must be >= 1", ErrConfig)
 	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
@@ -236,37 +274,65 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.shards[i] = st
 	}
+	p.ingest = make([]*ingestState, cfg.IngestWorkers)
+	for w := range p.ingest {
+		p.ingest[w] = newIngestState(w, &cfg)
+	}
+	// Wire the per-(worker, shard) rings into each shard's consume and
+	// recycle fan-in, in worker order.
+	for _, st := range p.shards {
+		st.in = make([]*spsc[shardMsg], cfg.IngestWorkers)
+		st.free = make([]*spsc[[]item], cfg.IngestWorkers)
+		for w, ig := range p.ingest {
+			st.in[w] = ig.out[st.id]
+			st.free[w] = ig.freeItems[st.id]
+		}
+	}
 	return p, nil
 }
 
-// Run drives the pipeline to completion: it ingests src on the calling
+// Run drives the pipeline to completion: it reads src on the calling
 // goroutine until io.EOF, a source error, or Stop, then drains the
-// shards, publishes the final Snapshot, and returns the source error if
-// any. Run may be called once per Pipeline.
+// workers, publishes the final Snapshot, and returns the source error
+// if any. If src implements BatchSource the reader pulls whole batches
+// (amortizing interface calls); otherwise it adapts the per-packet
+// form. Run may be called once per Pipeline.
 func (p *Pipeline) Run(src Source) error {
 	if !p.started.CompareAndSwap(false, true) {
 		return ErrReused
 	}
+	for _, ig := range p.ingest {
+		p.ingestWG.Add(1)
+		go p.ingestWorker(ig)
+	}
 	for _, st := range p.shards {
-		p.wg.Add(1)
-		go p.worker(st)
+		p.shardWG.Add(1)
+		go p.shardWorker(st)
 	}
 	go p.collect()
 
-	srcErr := p.ingest(src)
-
-	for _, st := range p.shards {
-		close(st.work)
+	bs, ok := src.(BatchSource)
+	if !ok {
+		// The adapter checks the stop request between packets, so Stop
+		// retains its packet-granular semantics on per-packet sources.
+		bs = &batchAdapter{src: src, stop: &p.stopReq}
 	}
-	p.wg.Wait()
+	srcErr := p.read(bs)
+
+	for _, ig := range p.ingest {
+		ig.in.close()
+	}
+	p.ingestWG.Wait()
+	p.shardWG.Wait()
 	close(p.barriers)
 	<-p.done
 	return srcErr
 }
 
-// Stop asks a concurrent Run to stop ingesting after the packet in
-// flight; Run then drains normally and publishes the final snapshot.
-// Safe to call from any goroutine, any number of times.
+// Stop asks a concurrent Run to stop reading after the packet in
+// flight (after the batch in flight for a native BatchSource); Run
+// then drains normally and publishes the final snapshot. Safe to call
+// from any goroutine, any number of times.
 func (p *Pipeline) Stop() { p.stopReq.Store(true) }
 
 // Latest returns the most recently published snapshot.
@@ -282,111 +348,154 @@ func (p *Pipeline) Snapshots() []*Snapshot {
 	return append([]*Snapshot(nil), p.snaps...)
 }
 
-// ingest is the fan-out stage; it owns the virtual clock and the window
-// barriers. It runs on the Run caller's goroutine.
-func (p *Pipeline) ingest(src Source) error {
+// read is the sequential stage: it owns the virtual clock, the window
+// barriers, the gap stamps, and the unit sequence numbers. It runs on
+// the Run caller's goroutine. Everything downstream may be parallel
+// because everything order-sensitive is decided here.
+func (p *Pipeline) read(bs BatchSource) error {
 	var (
-		srcErr     error
-		prevTime   int64
-		havePrev   bool
-		winStart   int64
-		nextWin    int64
-		windowing  = p.cfg.WindowUS > 0
-		offeredWin uint64
-		lastTime   int64
-		firstSeen  bool
+		srcErr    error
+		prevTime  int64
+		havePrev  bool
+		winStart  int64
+		nextWin   int64
+		windowing = p.cfg.WindowUS > 0
+		offered   uint64
+		lastTime  int64
+		firstSeen bool
 	)
+	cur := p.takeUnit()
+	curN := 0
 	for !p.stopReq.Load() {
-		pkt, err := src.Next()
+		n, err := bs.NextBatch(cur.pkts[curN:p.cfg.BatchSize])
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				srcErr = fmt.Errorf("pipeline: source: %w", err)
 			}
+			// Packets returned alongside the error are still delivered.
+		}
+		i := curN
+		curN += n
+		for i < curN {
+			pkt := &cur.pkts[i]
+			if !firstSeen {
+				firstSeen = true
+				winStart = pkt.Time
+				if windowing {
+					nextWin = pkt.Time + p.cfg.WindowUS
+				}
+				cur.noGap0 = true // the stream's first packet has no predecessor
+			}
+			for windowing && pkt.Time >= nextWin {
+				cur, curN, i = p.splitUnit(cur, curN, i)
+				pkt = &cur.pkts[i]
+				p.emitBarrier(winStart, nextWin, false, offered)
+				offered = 0
+				winStart = nextWin
+				nextWin += p.cfg.WindowUS
+			}
+			if havePrev {
+				cur.gaps[i] = pkt.Time - prevTime
+			} else {
+				cur.gaps[i] = 0
+			}
+			prevTime, havePrev = pkt.Time, true
+			lastTime = pkt.Time
+			offered++
+			i++
+		}
+		if curN == p.cfg.BatchSize {
+			p.sendUnit(cur, curN)
+			cur = p.takeUnit()
+			curN = 0
+		}
+		if err != nil {
 			break
 		}
-		if !firstSeen {
-			firstSeen = true
-			winStart = pkt.Time
-			if windowing {
-				nextWin = pkt.Time + p.cfg.WindowUS
-			}
-		}
-		for windowing && pkt.Time >= nextWin {
-			p.emitBarrier(winStart, nextWin, false, offeredWin)
-			offeredWin = 0
-			winStart = nextWin
-			nextWin += p.cfg.WindowUS
-		}
-		it := item{pkt: pkt}
-		if havePrev {
-			it.gapUS = pkt.Time - prevTime
-			it.hasGap = true
-		}
-		prevTime, havePrev = pkt.Time, true
-		lastTime = pkt.Time
-		offeredWin++
-		st := p.shards[p.shardOf(pkt)]
-		st.cur = append(st.cur, it)
-		if len(st.cur) == cap(st.cur) {
-			p.flush(st)
-		}
+	}
+	if curN > 0 {
+		p.sendUnit(cur, curN)
 	}
 	endUS := lastTime + 1
 	if !firstSeen {
 		winStart, endUS = 0, 0
 	}
-	p.emitBarrier(winStart, endUS, true, offeredWin)
+	p.emitBarrier(winStart, endUS, true, offered)
 	return srcErr
 }
 
-// flush hands the shard's current batch to its worker under the
-// configured overload policy. Ingest-goroutine only.
-func (p *Pipeline) flush(st *shardState) {
-	if len(st.cur) == 0 {
-		return
-	}
-	msg := shardMsg{batch: st.cur}
-	if p.cfg.Policy == Block {
-		st.work <- msg
-		st.cur = <-st.free
-		return
-	}
-	select {
-	case st.work <- msg:
-		// Buffer accounting guarantees the free list is non-empty once a
-		// send succeeds: queue holds at most QueueDepth batches, the
-		// worker at most one, and QueueDepth+2 circulate in total.
-		st.cur = <-st.free
-	default:
-		st.droppedTotal += uint64(len(msg.batch))
-		st.cur = msg.batch[:0]
-	}
+// takeUnit acquires a recycled batch buffer for the unit that will
+// carry sequence number p.useq. Buffer accounting (QueueDepth+2 units
+// circulate per worker) guarantees the free ring is non-empty whenever
+// the reader needs one.
+func (p *Pipeline) takeUnit() *unitBuf {
+	w := int(p.useq % uint64(len(p.ingest)))
+	buf, _ := p.ingest[w].freeUnits.pop()
+	buf.noGap0 = false
+	return buf
 }
 
-// emitBarrier flushes every shard's partial batch and then sends a
-// window barrier through every shard queue, so the barrier cuts the
-// stream at exactly this point. Barriers always use blocking sends —
-// overload may drop data batches, never a cut.
-func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64) {
-	for _, st := range p.shards {
-		p.flush(st)
+// sendUnit hands a filled unit to its round-robin ingest worker,
+// consuming one sequence number. Reader goroutine only.
+func (p *Pipeline) sendUnit(buf *unitBuf, n int) {
+	w := int(p.useq % uint64(len(p.ingest)))
+	p.ingest[w].in.push(srcUnit{seq: p.useq, buf: buf, n: n})
+	p.useq++
+}
+
+// splitUnit cuts a partially-walked unit at a window boundary: packets
+// [0, i) are sent as their own unit, the unwalked remainder [i, n)
+// moves to a fresh buffer, and the walk restarts at its beginning.
+// Window barriers consume exactly one sequence number per ingest
+// worker, so the round-robin target of the in-flight unit is invariant
+// under any number of interleaved barriers.
+func (p *Pipeline) splitUnit(cur *unitBuf, n, i int) (*unitBuf, int, int) {
+	if i == 0 {
+		return cur, n, 0 // nothing walked yet: the cut precedes the unit
 	}
-	p.seq++
+	rest := n - i
+	if rest == 0 {
+		p.sendUnit(cur, n)
+		next := p.takeUnit()
+		return next, 0, 0
+	}
+	next := p.takeUnitAfter()
+	copy(next.pkts[:rest], cur.pkts[i:n])
+	p.sendUnit(cur, i)
+	return next, rest, 0
+}
+
+// takeUnitAfter acquires the buffer for the unit that will follow the
+// one currently being split (sequence p.useq+1+N-barrier… the target
+// worker is p.useq+1 plus one full barrier round, which round-robins
+// to the same worker as p.useq+1).
+func (p *Pipeline) takeUnitAfter() *unitBuf {
+	w := int((p.useq + 1) % uint64(len(p.ingest)))
+	buf, _ := p.ingest[w].freeUnits.pop()
+	buf.noGap0 = false
+	return buf
+}
+
+// emitBarrier cuts the stream at the current read position: one
+// barrier fragment unit per ingest worker, on N consecutive sequence
+// numbers, so every worker forwards exactly one fragment through each
+// of its shard rings and every shard observes the cut at the same
+// stream offset. Fragments are always delivered — overload may drop
+// data batches, never a cut.
+func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64) {
+	p.winSeq++
 	bar := &barrier{
-		seq:     p.seq,
+		seq:     p.winSeq,
 		startUS: startUS,
 		endUS:   endUS,
 		final:   final,
 		offered: offered,
-		dropped: make([]uint64, len(p.shards)),
 		parts:   make(chan shardPart, len(p.shards)),
 	}
-	for i, st := range p.shards {
-		bar.dropped[i] = st.droppedTotal - st.droppedReported
-		st.droppedReported = st.droppedTotal
-	}
-	for _, st := range p.shards {
-		st.work <- shardMsg{bar: bar}
+	for range p.ingest {
+		w := int(p.useq % uint64(len(p.ingest)))
+		p.ingest[w].in.push(srcUnit{seq: p.useq, bar: bar})
+		p.useq++
 	}
 	p.barriers <- bar
 }
@@ -395,44 +504,5 @@ func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64)
 // so a flow's packets always land on one shard and per-shard flow
 // tables and heavy-hitter sketches are exact partitions.
 func (p *Pipeline) shardOf(pkt trace.Packet) int {
-	if len(p.shards) == 1 {
-		return 0
-	}
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	mix := func(b byte) {
-		h ^= uint32(b)
-		h *= prime32
-	}
-	for _, b := range pkt.Src {
-		mix(b)
-	}
-	for _, b := range pkt.Dst {
-		mix(b)
-	}
-	mix(byte(pkt.SrcPort))
-	mix(byte(pkt.SrcPort >> 8))
-	mix(byte(pkt.DstPort))
-	mix(byte(pkt.DstPort >> 8))
-	mix(byte(pkt.Protocol))
-	return int(h % uint32(len(p.shards)))
-}
-
-// worker drains one shard's queue: data batches feed the shard state,
-// barrier markers cut and deposit a partial snapshot.
-func (p *Pipeline) worker(st *shardState) {
-	defer p.wg.Done()
-	for msg := range st.work {
-		if msg.bar != nil {
-			msg.bar.parts <- st.cut()
-			continue
-		}
-		for i := range msg.batch {
-			st.process(&msg.batch[i])
-		}
-		st.free <- msg.batch[:0]
-	}
+	return shardIndex(&pkt, len(p.shards))
 }

@@ -18,28 +18,27 @@ type item struct {
 	hasGap bool
 }
 
-// shardMsg travels a shard's work queue: either a data batch or a
-// window barrier marker, never both.
+// shardMsg travels a (ingest worker, shard) ring: a data batch, an
+// empty progress marker (nil items), or a window barrier fragment. seq
+// is the global unit sequence number — a shard worker consumes its
+// rings in seq order, which restores exact stream order across the
+// parallel ingest stage. dropped is the producing worker's drop delta
+// for this shard since its previous successful publish on this ring.
 type shardMsg struct {
-	batch []item
-	bar   *barrier
+	seq     uint64
+	items   []item
+	bar     *barrier
+	dropped uint64
 }
 
-// shardState is one worker shard. Field ownership is strict:
-//
-//   - cur, droppedTotal, droppedReported — ingest goroutine only;
-//   - sampler, counts, flows, topk, selected, processed — worker
-//     goroutine only (and the Run caller after wg.Wait);
-//   - work, free — the channels connecting the two.
+// shardState is one worker shard. Field ownership is strict: in and
+// free are the rings connecting it to each ingest worker (indexed by
+// worker id); everything else is worker-goroutine-only (and the Run
+// caller's after shardWG.Wait).
 type shardState struct {
 	id   int
-	work chan shardMsg
-	free chan []item
-
-	// Ingest-owned.
-	cur             []item
-	droppedTotal    uint64
-	droppedReported uint64
+	in   []*spsc[shardMsg] // consume side of the (worker, shard) rings
+	free []*spsc[[]item]   // recycle side, back to each worker
 
 	// Worker-owned.
 	sampler    online.Sampler
@@ -53,9 +52,11 @@ type shardState struct {
 	keyBuf     [13]byte
 	processed  uint64
 	selected   uint64
+	dropped    uint64 // drop deltas accumulated from ring messages this window
 }
 
-// newShardState allocates one shard's queues, buffers, and aggregates.
+// newShardState allocates one shard's aggregates. The rings are wired
+// in by New once the ingest workers exist.
 func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, error) {
 	flowTab, err := flows.NewTable(cfg.FlowTimeoutUS)
 	if err != nil {
@@ -65,15 +66,8 @@ func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, er
 	if err != nil {
 		return nil, err
 	}
-	st := &shardState{
-		id:   id,
-		work: make(chan shardMsg, cfg.QueueDepth),
-		// QueueDepth+2 batch buffers circulate per shard: at most
-		// QueueDepth queued, one held by the worker, one being filled by
-		// ingest — so after any successful send the free list cannot be
-		// empty and ingest never deadlocks on buffer recycling.
-		free:       make(chan []item, cfg.QueueDepth+1),
-		cur:        make([]item, 0, cfg.BatchSize),
+	return &shardState{
+		id:         id,
 		sampler:    sampler,
 		sizeScheme: cfg.SizeScheme,
 		iatScheme:  cfg.IatScheme,
@@ -82,11 +76,76 @@ func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, er
 		flowTab:    flowTab,
 		topk:       topk,
 		topkReport: cfg.TopKReport,
+	}, nil
+}
+
+// shardWorker drains one shard's rings in global sequence order: the
+// ring owning the next sequence number is in[seq mod N]. Three cases at
+// that ring's head:
+//
+//   - head.seq == next: consume it (data feeds the shard state, a
+//     barrier fragment counts toward the cut);
+//   - head.seq > next: sequence `next` was dropped under overload or
+//     its ring slot was shed — skip the number, the drop was counted by
+//     the producer;
+//   - ring closed and drained: the worker has exited, nothing more will
+//     arrive from it — skip all its remaining numbers.
+//
+// Because each worker publishes in increasing seq order and every unit
+// publishes to every shard, the head of the owning ring always decides
+// `next` without waiting on any other ring; a barrier completes after
+// one fragment from each live worker, cutting every shard at the same
+// stream position.
+func (p *Pipeline) shardWorker(st *shardState) {
+	defer p.shardWG.Done()
+	n := uint64(len(st.in))
+	closed := make([]bool, n)
+	live := int(n)
+	var (
+		next     uint64
+		barFrags int
+		curBar   *barrier
+	)
+	for live > 0 {
+		w := next % n
+		if closed[w] {
+			next++
+			continue
+		}
+		head, ok := st.in[w].peek()
+		if !ok {
+			closed[w] = true
+			live--
+			next++
+			continue
+		}
+		if head.seq > next {
+			next++ // this seq produced nothing for us (or was shed)
+			continue
+		}
+		msg := *head
+		st.in[w].advance()
+		next++
+		st.dropped += msg.dropped
+		if msg.bar != nil {
+			curBar = msg.bar
+			barFrags++
+			if barFrags == int(n) {
+				part := st.cut()
+				curBar.parts <- part
+				curBar = nil
+				barFrags = 0
+			}
+			continue
+		}
+		if msg.items == nil {
+			continue
+		}
+		for i := range msg.items {
+			st.process(&msg.items[i])
+		}
+		st.free[w].push(msg.items[:0])
 	}
-	for i := 0; i < cfg.QueueDepth+1; i++ {
-		st.free <- make([]item, 0, cfg.BatchSize)
-	}
-	return st, nil
 }
 
 // process offers one packet to the shard's sampler and, if selected,
@@ -123,13 +182,14 @@ func (st *shardState) cut() shardPart {
 		shard:       st.id,
 		processed:   st.processed,
 		selected:    st.selected,
+		dropped:     st.dropped,
 		sizeCounts:  append([]float64(nil), st.sizeCounts...),
 		iatCounts:   append([]float64(nil), st.iatCounts...),
 		activeFlows: st.flowTab.ActiveCount(),
 		topk:        st.topk.Top(st.topkReport),
 	}
 	part.flows = flows.CountFlows(st.flowTab.Flush())
-	st.processed, st.selected = 0, 0
+	st.processed, st.selected, st.dropped = 0, 0, 0
 	clearFloats(st.sizeCounts)
 	clearFloats(st.iatCounts)
 	st.topk.Reset()

@@ -10,25 +10,28 @@ import (
 	"netsample/internal/nnstat"
 )
 
-// barrier is a window cut travelling through every shard queue. The
-// ingest stamps it with the window bounds and the per-shard drop deltas
-// observed up to the cut; each worker deposits its partial state into
-// parts when the marker reaches the front of its queue.
+// barrier is a window cut travelling through every shard ring as one
+// fragment per ingest worker. The reader stamps it with the window
+// bounds and the offered count; each shard deposits its partial state
+// into parts once fragments from all workers have reached it in
+// sequence order.
 type barrier struct {
 	seq     uint64
 	startUS int64
 	endUS   int64
 	final   bool
 	offered uint64
-	dropped []uint64
 	parts   chan shardPart
 }
 
-// shardPart is one shard's window-local state at a barrier.
+// shardPart is one shard's window-local state at a barrier. dropped is
+// the shard's overload loss this window, summed from the drop deltas
+// the ingest workers flushed down its rings.
 type shardPart struct {
 	shard       int
 	processed   uint64
 	selected    uint64
+	dropped     uint64
 	sizeCounts  []float64
 	iatCounts   []float64
 	flows       flows.Counts
@@ -115,17 +118,16 @@ func (p *Pipeline) merge(bar *barrier, parts []shardPart) *Snapshot {
 		Final:          bar.final,
 		Shards:         len(p.shards),
 		Offered:        bar.offered,
-		DroppedByShard: bar.dropped,
+		DroppedByShard: make([]uint64, len(p.shards)),
 		SizeCounts:     make([]float64, p.cfg.SizeScheme.NumBins()),
 		IatCounts:      make([]float64, p.cfg.IatScheme.NumBins()),
-	}
-	for _, d := range bar.dropped {
-		snap.Dropped += d
 	}
 	for i := range parts {
 		part := &parts[i]
 		snap.Processed += part.processed
 		snap.Selected += part.selected
+		snap.Dropped += part.dropped
+		snap.DroppedByShard[part.shard] = part.dropped
 		for b, c := range part.sizeCounts {
 			snap.SizeCounts[b] += c
 		}

@@ -28,5 +28,18 @@ func (r *Replayer) Next() (Packet, error) {
 	return p, nil
 }
 
+// NextBatch fills dst with the next packets of the trace, returning
+// how many it wrote — the amortized batch form of Next (one bulk copy
+// instead of a call per packet). It returns io.EOF, with a count of 0,
+// only once the trace is exhausted.
+func (r *Replayer) NextBatch(dst []Packet) (int, error) {
+	if r.pos >= len(r.packets) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.packets[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
 // Rewind repositions the replayer at the start of the trace.
 func (r *Replayer) Rewind() { r.pos = 0 }

@@ -65,6 +65,30 @@ func (s *StreamReader) Next() (Packet, error) {
 	return decodeRecord(&rec), nil
 }
 
+// NextBatch fills dst with the next records of the stream, returning
+// how many it decoded — the amortized batch form of Next. Decoded
+// packets precede any error: a short stream returns the packets read so
+// far alongside ErrFormat, and exhaustion returns (0, io.EOF).
+func (s *StreamReader) NextBatch(dst []Packet) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if s.read >= s.total {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		var rec [recordLen]byte
+		if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+			return n, fmt.Errorf("%w: record %d: %v", ErrFormat, s.read, err)
+		}
+		s.read++
+		dst[n] = decodeRecord(&rec)
+		n++
+	}
+	return n, nil
+}
+
 // StreamWriter writes an NSTR trace incrementally. Because the format's
 // header carries the record count, the writer buffers only the header
 // position: it must write to an io.WriteSeeker so the count can be

@@ -1,0 +1,8 @@
+//go:build !race
+
+package traffgen
+
+// raceEnabled reports whether the race detector is active; the
+// generator allocation pin is skipped under -race because
+// instrumentation perturbs allocation counts.
+const raceEnabled = false

@@ -9,6 +9,12 @@ import (
 // sourceModel creates flows of one application type. A flow is a finite
 // packet emitter: next returns the gap to the flow's next packet, the
 // packet itself, and whether further packets follow.
+//
+// Models embed one scratch flow struct that newFlow reinitializes and
+// returns, so spawning a flow allocates nothing. This relies on the
+// generator's access pattern — each flow is fully drained before the
+// model's next newFlow — and makes a model single-flow at a time; use
+// one model value per Generate call.
 type sourceModel interface {
 	newFlow(r *dist.RNG, addrs *addressPool) flow
 }
@@ -56,16 +62,18 @@ func paretoCount(r *dist.RNG, xm float64, alpha float64, maxCount int) int {
 // logins: 41-byte packets (one typed character over a 40-byte TCP/IP
 // header), occasionally a longer line or screen update, at human typing
 // timescales.
-type telnetModel struct{}
+type telnetModel struct {
+	scratch telnetFlow
+}
 
 type telnetFlow struct {
 	base      trace.Packet
 	remaining int
 }
 
-func (telnetModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
+func (m *telnetModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	src, dst := addrs.pair(r)
-	return &telnetFlow{
+	m.scratch = telnetFlow{
 		base: trace.Packet{
 			Protocol: packet.ProtoTCP,
 			TCPFlags: packet.TCPAck | packet.TCPPsh,
@@ -74,6 +82,7 @@ func (telnetModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 		},
 		remaining: geometricCount(r, 120),
 	}
+	return &m.scratch
 }
 
 func (f *telnetFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
@@ -99,7 +108,9 @@ func (f *telnetFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
 // clocked by the inbound data rate, so their intra-train gaps are
 // milliseconds — the dense runs that make timer-driven sampling miss
 // bursts.
-type ackModel struct{}
+type ackModel struct {
+	scratch ackFlow
+}
 
 type ackFlow struct {
 	base       trace.Packet
@@ -108,9 +119,9 @@ type ackFlow struct {
 	gapMeanUS  float64
 }
 
-func (ackModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
+func (m *ackModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	src, dst := addrs.pair(r)
-	f := &ackFlow{
+	m.scratch = ackFlow{
 		base: trace.Packet{
 			Size:     40,
 			Protocol: packet.ProtoTCP,
@@ -124,7 +135,7 @@ func (ackModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 		// 552-byte segments spans roughly 9..160 ms.
 		gapMeanUS: 9000 + 150000*r.Float64()*r.Float64(),
 	}
-	return f
+	return &m.scratch
 }
 
 func (f *ackFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
@@ -151,7 +162,9 @@ func (f *ackFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
 // service): trains of MSS-sized segments — 552 bytes on most 1993 paths,
 // 1500 on MTU-discovering ones — separated by source-clocked gaps with
 // occasional window stalls, ending in a remainder segment.
-type bulkModel struct{}
+type bulkModel struct {
+	scratch bulkFlow
+}
 
 type bulkFlow struct {
 	base      trace.Packet
@@ -160,7 +173,7 @@ type bulkFlow struct {
 	gapMeanUS float64
 }
 
-func (bulkModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
+func (m *bulkModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	src, dst := addrs.pair(r)
 	var mss uint16
 	switch u := r.Float64(); {
@@ -176,7 +189,7 @@ func (bulkModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	if r.Float64() < 0.25 {
 		dstPort = packet.PortNNTP
 	}
-	return &bulkFlow{
+	m.scratch = bulkFlow{
 		base: trace.Packet{
 			Protocol: packet.ProtoTCP,
 			TCPFlags: packet.TCPAck,
@@ -188,6 +201,7 @@ func (bulkModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 		// Source clocking: 552 B at 0.35..1.1 Mb/s is 4..14 ms/segment.
 		gapMeanUS: 4000 + 10000*r.Float64(),
 	}
+	return &m.scratch
 }
 
 func (f *bulkFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
@@ -212,20 +226,22 @@ func (f *bulkFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
 
 // transactionModel emits DNS-style UDP transactions: one to a few small
 // packets per exchange.
-type transactionModel struct{}
+type transactionModel struct {
+	scratch transactionFlow
+}
 
 type transactionFlow struct {
 	base      trace.Packet
 	remaining int
 }
 
-func (transactionModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
+func (m *transactionModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	src, dst := addrs.pair(r)
 	dstPort := packet.PortDNS
 	if r.Float64() < 0.2 {
 		dstPort = packet.PortNTP
 	}
-	return &transactionFlow{
+	m.scratch = transactionFlow{
 		base: trace.Packet{
 			Protocol: packet.ProtoUDP,
 			Src:      src, Dst: dst,
@@ -233,6 +249,7 @@ func (transactionModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 		},
 		remaining: 1 + r.IntN(4),
 	}
+	return &m.scratch
 }
 
 func (f *transactionFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
@@ -251,20 +268,22 @@ func (f *transactionFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
 
 // mailModel emits the command/response phase of mail and news sessions:
 // medium packets between the telnet and bulk regimes.
-type mailModel struct{}
+type mailModel struct {
+	scratch mailFlow
+}
 
 type mailFlow struct {
 	base      trace.Packet
 	remaining int
 }
 
-func (mailModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
+func (m *mailModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	src, dst := addrs.pair(r)
 	dstPort := packet.PortSMTP
 	if r.Float64() < 0.3 {
 		dstPort = packet.PortNNTP
 	}
-	return &mailFlow{
+	m.scratch = mailFlow{
 		base: trace.Packet{
 			Protocol: packet.ProtoTCP,
 			TCPFlags: packet.TCPAck | packet.TCPPsh,
@@ -273,6 +292,7 @@ func (mailModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 		},
 		remaining: geometricCount(r, 25),
 	}
+	return &m.scratch
 }
 
 func (f *mailFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
@@ -293,22 +313,25 @@ func (f *mailFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {
 
 // icmpModel emits ICMP echo traffic: the 28-byte minimum packets that set
 // the trace's size floor, plus standard 56-byte-payload pings.
-type icmpModel struct{}
+type icmpModel struct {
+	scratch icmpFlow
+}
 
 type icmpFlow struct {
 	base      trace.Packet
 	remaining int
 }
 
-func (icmpModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
+func (m *icmpModel) newFlow(r *dist.RNG, addrs *addressPool) flow {
 	src, dst := addrs.pair(r)
-	return &icmpFlow{
+	m.scratch = icmpFlow{
 		base: trace.Packet{
 			Protocol: packet.ProtoICMP,
 			Src:      src, Dst: dst,
 		},
 		remaining: geometricCount(r, 6),
 	}
+	return &m.scratch
 }
 
 func (f *icmpFlow) next(r *dist.RNG) (int64, trace.Packet, bool) {

@@ -27,6 +27,7 @@ package traffgen
 import (
 	"errors"
 	"sort"
+	"sync"
 	"time"
 
 	"netsample/internal/dist"
@@ -126,6 +127,32 @@ type event struct {
 	pkt    trace.Packet
 }
 
+// eventPool recycles the large event staging buffer across Generate
+// calls: the buffer is internal (only tr.Packets escapes), and repeated
+// generation — experiment sweeps, tests, nsd e2e — was paying a
+// multi-megabyte allocation plus GC pressure per trace for it.
+var eventPool = sync.Pool{}
+
+// getEvents returns a zero-length event buffer with at least capacity
+// cap, reusing a pooled one when available.
+func getEvents(capacity int) []event {
+	if v := eventPool.Get(); v != nil {
+		buf := *v.(*[]event)
+		if cap(buf) >= capacity {
+			return buf[:0]
+		}
+		// Too small for this config; let it be collected.
+	}
+	return make([]event, 0, capacity)
+}
+
+// putEvents returns a buffer to the pool. The pointer indirection keeps
+// the slice header itself off the heap on the round trip.
+func putEvents(buf []event) {
+	buf = buf[:0]
+	eventPool.Put(&buf)
+}
+
 // Generate synthesizes the trace described by cfg.
 func Generate(cfg Config) (*trace.Trace, error) {
 	if err := cfg.Validate(); err != nil {
@@ -142,20 +169,23 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	addrs := newAddressPool(cfg.Profile, root.Split())
 
 	durUS := cfg.Duration.Microseconds()
-	var events []event
 	// Estimated capacity: rate × duration with headroom.
-	events = make([]event, 0, int(cfg.TargetPPS*cfg.Duration.Seconds()*1.2))
+	events := getEvents(int(cfg.TargetPPS * cfg.Duration.Seconds() * 1.2))
+	defer putEvents(events)
 
+	// The models carry per-flow scratch state (one live flow at a time),
+	// so they are per-call, never shared: Generate stays safe to run
+	// concurrently from multiple goroutines.
 	models := []struct {
 		weight float64
 		model  sourceModel
 	}{
-		{mix.Telnet, telnetModel{}},
-		{mix.Ack, ackModel{}},
-		{mix.Bulk, bulkModel{}},
-		{mix.Transaction, transactionModel{}},
-		{mix.Mail, mailModel{}},
-		{mix.ICMP, icmpModel{}},
+		{mix.Telnet, &telnetModel{}},
+		{mix.Ack, &ackModel{}},
+		{mix.Bulk, &bulkModel{}},
+		{mix.Transaction, &transactionModel{}},
+		{mix.Mail, &mailModel{}},
+		{mix.ICMP, &icmpModel{}},
 	}
 	for _, m := range models {
 		if m.weight <= 0 {
@@ -184,17 +214,24 @@ func Generate(cfg Config) (*trace.Trace, error) {
 // appendFlows spawns flows of one model until the model has contributed
 // approximately targetPackets packets within [0, durUS). Flow start times
 // are drawn from the rate envelope so offered load is non-stationary.
+//
+// The per-flow RNG is a stack-scratch child reseeded in place
+// (dist.RNG.SplitInto draws the identical stream Split would have
+// returned, without allocating), and each model reuses one scratch flow
+// struct — a flow is fully drained before the next newFlow, so the
+// hot loop allocates nothing per flow.
 func appendFlows(events []event, m sourceModel, targetPackets float64, durUS int64,
 	env *envelope, addrs *addressPool, r *dist.RNG) []event {
 
+	var flowRNG dist.RNG
 	var emitted float64
 	for emitted < targetPackets {
 		start := env.sampleStart(r, durUS)
-		flowRNG := r.Split()
-		flow := m.newFlow(flowRNG, addrs)
+		r.SplitInto(&flowRNG)
+		flow := m.newFlow(&flowRNG, addrs)
 		t := start
 		for {
-			gapUS, pkt, more := flow.next(flowRNG)
+			gapUS, pkt, more := flow.next(&flowRNG)
 			t += gapUS
 			if t >= durUS {
 				break
