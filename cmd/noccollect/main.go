@@ -6,6 +6,12 @@
 // Usage:
 //
 //	noccollect -agents 127.0.0.1:4501,127.0.0.1:4502 [-interval 15s] [-cycles 4]
+//	           [-retries 2] [-backoff 50ms] [-max-backoff 2s] [-jitter-seed 1]
+//	           [-max-concurrent 8]
+//
+// Polls are retried with seeded-jitter exponential backoff; thanks to
+// the ack-based cycle protocol a retried poll recovers the agent's
+// pending cycle instead of losing or double-counting it.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"netsample/internal/collect"
+	"netsample/internal/dist"
 	"netsample/internal/packet"
 )
 
@@ -29,6 +36,11 @@ func main() {
 	interval := flag.Duration("interval", 15*time.Second, "poll cycle (15m on the real backbone)")
 	cycles := flag.Int("cycles", 0, "number of cycles to run (0 = forever)")
 	topN := flag.Int("top", 5, "matrix rows to print per cycle")
+	retries := flag.Int("retries", 2, "extra poll attempts per agent after the first")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt)")
+	maxBackoff := flag.Duration("max-backoff", 2*time.Second, "retry backoff cap")
+	jitterSeed := flag.Uint64("jitter-seed", 1, "seed for retry jitter (deterministic schedules)")
+	maxConcurrent := flag.Int("max-concurrent", collect.DefaultMaxConcurrent, "agents polled at once")
 	flag.Parse()
 
 	if *agents == "" {
@@ -37,13 +49,20 @@ func main() {
 	}
 	addrs := strings.Split(*agents, ",")
 	c := collect.NewCollector()
+	c.Retries = *retries
+	c.Backoff = *backoff
+	c.MaxBackoff = *maxBackoff
+	c.Jitter = dist.NewRNG(*jitterSeed)
+	c.MaxConcurrent = *maxConcurrent
 
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
 		start := time.Now() //nslint:allow noclock operator-facing wall-clock cycle timestamp in a CLI
 		results := c.PollAll(addrs)
+		// An all-failed cycle is an outage to report, not a reason to
+		// exit: the next cycle may find the agents back.
 		view, err := collect.Aggregate(results)
 		if err != nil {
-			log.Fatalf("aggregate: %v", err)
+			log.Printf("cycle %d: %v", cycle, err)
 		}
 		fmt.Printf("--- cycle %d at %s (%d nodes, %d failed) ---\n",
 			cycle, start.Format(time.TimeOnly), len(view.Nodes), len(view.Failed))

@@ -165,6 +165,12 @@ func main() {
 			<-stopped
 		}
 	}
+	// A crashed accept loop (exhausted retries, listener closed
+	// underneath us) must be visible at shutdown, not silently folded
+	// into a clean exit.
+	if err := agent.Err(); err != nil {
+		log.Printf("agent: %v", err)
+	}
 	if err := agent.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"netsample/internal/arts"
 	"netsample/internal/collect"
+	"netsample/internal/dist"
 	"netsample/internal/nsfnet"
 	"netsample/internal/snmp"
 	"netsample/internal/trace"
@@ -124,8 +125,14 @@ func main() {
 	}
 
 	// The NOC polls the collection agents over TCP (15 minutes on the
-	// real backbone; immediate here) and the counters over UDP.
+	// real backbone; immediate here) and the counters over UDP. Polls
+	// retry with seeded-jitter backoff, as a production collector would;
+	// the seed makes any retry schedule reproducible.
 	c := collect.NewCollector()
+	c.Retries = 3
+	c.Backoff = 25 * time.Millisecond
+	c.MaxBackoff = 500 * time.Millisecond
+	c.Jitter = dist.NewRNG(7)
 	mgr := snmp.NewManager()
 	addrs := make([]string, len(nodes))
 	for i, n := range nodes {

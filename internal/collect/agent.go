@@ -12,15 +12,36 @@ import (
 	"netsample/internal/trace"
 )
 
+// Accept-loop retry bounds: transient listener errors are retried with
+// exponential backoff before the agent declares the listener dead.
+const (
+	DefaultAcceptRetries = 8
+	acceptBackoffBase    = time.Millisecond
+	acceptBackoffMax     = 250 * time.Millisecond
+)
+
 // Agent is the node-side collection server: it owns a live ObjectSet,
 // accepts Record()ed traffic from the node's forwarding path, and
-// answers NOC poll/query requests over TCP. Poll requests atomically
-// report and reset the counters, the T1/T3 operational behavior.
+// answers NOC poll/query requests over TCP.
+//
+// Polls run the ack-based cycle protocol of wire v2: each poll request
+// carries the sequence number of the last cycle the collector received,
+// and the agent keeps every cut cycle until the next request
+// acknowledges it. A poll whose ack is older than the pending cycle
+// retransmits that cycle byte-for-byte instead of cutting a new one, so
+// a retried poll after a lost response recovers the interval instead of
+// losing it, and never double-counts it either (DESIGN.md §11).
 type Agent struct {
 	Node string
 
 	mu  sync.Mutex
 	set *arts.ObjectSet
+	// Cycle state, guarded by mu. lastSeq is the sequence number of the
+	// most recently cut cycle; pending holds that cycle's serialized
+	// report until a poll request acknowledges it.
+	lastSeq    uint64
+	pendingSeq uint64
+	pending    []byte
 
 	// Snapshots, when set, answers TypeSnapshotQuery requests with the
 	// node's live pipeline view (e.g. a *pipeline.Exporter). Nil makes
@@ -31,12 +52,24 @@ type Agent struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
+	errMu   sync.Mutex
+	loopErr error
+
 	// IOTimeout bounds each read/write on an agent connection.
 	IOTimeout time.Duration
+
+	// AcceptRetries bounds consecutive failed Accept calls before the
+	// agent gives up and records the failure in Err. Zero means
+	// DefaultAcceptRetries; timeouts do not count against it.
+	AcceptRetries int
 
 	// Clock supplies the current time for I/O deadlines. Nil means the
 	// real time; tests inject a fake to pin deadline arithmetic.
 	Clock func() time.Time
+
+	// Sleep is the seam the accept-retry backoff pauses through. Nil
+	// means time.Sleep; tests inject a no-op.
+	Sleep func(time.Duration)
 }
 
 // now reads the agent's clock. This is the package's sanctioned
@@ -46,6 +79,18 @@ func (a *Agent) now() time.Time {
 		return a.Clock()
 	}
 	return time.Now() //nslint:allow noclock default of the injectable Clock seam
+}
+
+// pause sleeps for d through the injectable seam.
+func (a *Agent) pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if a.Sleep != nil {
+		a.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // NewAgent creates an agent for the named node with the given object
@@ -74,23 +119,44 @@ func (a *Agent) RecordTrace(tr *trace.Trace, weight uint64) {
 	}
 }
 
-// snapshot serializes the current objects; when reset is true the
-// counters are cleared in the same critical section, so no packet is
-// ever counted in two polls.
-func (a *Agent) snapshot(reset bool) ([]byte, error) {
+// pollCycle runs one step of the ack protocol. When the request's ack
+// is older than the pending cycle, the previous response was lost in
+// flight: the pending report is retransmitted unchanged and the live
+// counters are untouched. Otherwise the pending cycle (if any) is
+// acknowledged and a fresh cycle is cut — serialize, then reset — in
+// one critical section, so every recorded packet lands in exactly one
+// cycle.
+func (a *Agent) pollCycle(ack uint64) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pendingSeq != 0 && ack < a.pendingSeq {
+		return a.pending, nil
+	}
+	if a.set.Rates != nil {
+		a.set.Rates.Finish()
+	}
+	seq := a.lastSeq + 1
+	payload, err := encodeReport(a.Node, a.set, seq)
+	if err != nil {
+		return nil, err
+	}
+	a.set.Reset()
+	a.lastSeq = seq
+	a.pendingSeq = seq
+	a.pending = payload
+	return payload, nil
+}
+
+// queryView serializes the live objects without cutting a cycle; the
+// report carries cycle 0 to mark it as a non-cycle view. Packets
+// already cut into a pending cycle are not part of the live view.
+func (a *Agent) queryView() ([]byte, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.set.Rates != nil {
 		a.set.Rates.Finish()
 	}
-	payload, err := encodeReport(a.Node, a.set)
-	if err != nil {
-		return nil, err
-	}
-	if reset {
-		a.set.Reset()
-	}
-	return payload, nil
+	return encodeReport(a.Node, a.set, 0)
 }
 
 // Serve starts listening on addr ("127.0.0.1:0" for an ephemeral test
@@ -101,29 +167,80 @@ func (a *Agent) Serve(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	return a.ServeListener(ln), nil
+}
+
+// ServeListener serves connections from an existing listener and
+// returns its address. The chaos harness uses it to put a
+// fault-injecting listener under the agent.
+func (a *Agent) ServeListener(ln net.Listener) net.Addr {
 	a.ln = ln
 	a.wg.Add(1)
 	go a.acceptLoop()
-	return ln.Addr(), nil
+	return ln.Addr()
 }
 
+// acceptRetries returns the configured consecutive-failure budget.
+func (a *Agent) acceptRetries() int {
+	if a.AcceptRetries > 0 {
+		return a.AcceptRetries
+	}
+	return DefaultAcceptRetries
+}
+
+// setErr records the accept loop's terminal failure.
+func (a *Agent) setErr(err error) {
+	a.errMu.Lock()
+	a.loopErr = err
+	a.errMu.Unlock()
+}
+
+// Err reports why the accept loop stopped: nil while serving and after
+// a clean Close, or the error that killed the listener when the agent
+// exhausted its retries — the observable difference between "shut
+// down" and "crashed".
+func (a *Agent) Err() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	return a.loopErr
+}
+
+// acceptLoop accepts connections until Close. Transient accept errors
+// are retried with exponential backoff instead of silently killing the
+// agent; persistent failure (or a listener closed underneath a live
+// agent) is recorded in Err before the loop exits.
 func (a *Agent) acceptLoop() {
 	defer a.wg.Done()
+	backoff := acceptBackoffBase
+	failures := 0
 	for {
 		conn, err := a.ln.Accept()
 		if err != nil {
 			select {
 			case <-a.closed:
-				return
+				return // clean shutdown via Close
 			default:
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue
 			}
-			log.Printf("collect agent %s: accept: %v", a.Node, err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				a.setErr(fmt.Errorf("collect agent %s: listener closed outside Close: %w", a.Node, err))
+				return
+			}
+			failures++
+			if failures > a.acceptRetries() {
+				a.setErr(fmt.Errorf("collect agent %s: accept failed %d times, giving up: %w", a.Node, failures, err))
+				return
+			}
+			log.Printf("collect agent %s: accept (attempt %d, retrying in %v): %v", a.Node, failures, backoff, err)
+			a.pause(backoff)
+			backoff = min(2*backoff, acceptBackoffMax)
+			continue
 		}
+		failures = 0
+		backoff = acceptBackoffBase
 		a.wg.Add(1)
 		go func() {
 			defer a.wg.Done()
@@ -133,25 +250,33 @@ func (a *Agent) acceptLoop() {
 }
 
 // handle serves one NOC connection; a connection may carry many
-// requests.
+// requests. A frame from another protocol version is answered with a
+// typed error before the connection is dropped, so old peers fail loud
+// instead of silent.
 func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
 	for {
 		if a.IOTimeout > 0 {
 			_ = conn.SetDeadline(a.now().Add(a.IOTimeout))
 		}
-		msgType, _, err := readFrame(conn)
+		msgType, req, err := readFrame(conn)
 		if err != nil {
+			if errors.Is(err, ErrVersion) {
+				_ = writeFrame(conn, TypeError, []byte(err.Error()))
+			}
 			return // disconnect or garbage: drop the connection
 		}
 		var payload []byte
 		var respType uint8
 		switch msgType {
 		case TypePoll:
-			payload, err = a.snapshot(true)
+			var ack uint64
+			if ack, err = decodeAck(req); err == nil {
+				payload, err = a.pollCycle(ack)
+			}
 			respType = TypeReport
 		case TypeQuery:
-			payload, err = a.snapshot(false)
+			payload, err = a.queryView()
 			respType = TypeReport
 		case TypeSnapshotQuery:
 			switch src := a.Snapshots; {

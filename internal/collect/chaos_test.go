@@ -1,0 +1,144 @@
+package collect
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netsample/internal/arts"
+	"netsample/internal/dist"
+	"netsample/internal/faultnet"
+)
+
+// chaosSchedules is the number of distinct seeded fault schedules the
+// soak drives the agent/collector pair through. Each schedule is a pure
+// function of its seed, so any failure replays with `-run
+// TestChaosSoakConservation` and the seed from the failure message.
+const chaosSchedules = 1000
+
+// chaosPhases is how many record-then-poll rounds each schedule runs.
+const chaosPhases = 3
+
+// runChaosSchedule drives one agent/collector pair through one seeded
+// fault schedule and checks the conservation invariant: every recorded
+// packet is counted in exactly one accepted cycle. It returns how many
+// connections the schedule actually faulted, so the soak can prove it
+// exercised failures rather than a string of clean runs.
+//
+// The injector's fault budget (4) is strictly below the number of polls
+// the phase loop may issue, so once the budget is spent every further
+// connection is clean and each phase's poll loop must terminate.
+func runChaosSchedule(t *testing.T, seed uint64) int {
+	t.Helper()
+	noop := func(time.Duration) {}
+
+	agent := NewAgent("chaos-node", arts.T1)
+	agent.Sleep = noop
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultnet.NewInjector(seed*0x9E3779B97F4A7C15+1, faultnet.Config{
+		FaultProb: 0.75,
+		Budget:    4,
+	})
+	inj.Sleep = noop
+	addr := agent.ServeListener(inj.Listener(ln)).String()
+	defer agent.Close()
+
+	col := &Collector{
+		Timeout: 5 * time.Second,
+		Retries: 6,
+		Backoff: time.Millisecond,
+		Jitter:  dist.NewRNG(seed ^ 0xC2B2AE3D27D4EB4F),
+		Sleep:   noop,
+	}
+
+	// pollUntil retries whole polls: a poll can fail terminally when a
+	// fault corrupts the request's version byte (the agent answers with
+	// a typed, non-retryable error), but each such failure burns fault
+	// budget, so success is reached within a few rounds.
+	pollUntil := func() *Report {
+		for tries := 0; tries < 12; tries++ {
+			rep, err := col.Poll(addr)
+			if err == nil {
+				return rep
+			}
+		}
+		t.Fatalf("seed %d: poll never succeeded with fault budget %d", seed, 4)
+		return nil
+	}
+
+	rng := dist.NewRNG(seed)
+	var recorded uint64
+	cycles := make(map[uint64]uint64) // cycle seq → packets counted
+	for phase := 0; phase < chaosPhases; phase++ {
+		n := 5 + rng.IntN(12)
+		for i := 0; i < n; i++ {
+			agent.Record(samplePacket(rng.IntN(16)), 1)
+			recorded++
+		}
+		rep := pollUntil()
+		if rep.Cycle == 0 {
+			t.Fatalf("seed %d phase %d: poll returned a cycle-0 view", seed, phase)
+		}
+		if _, dup := cycles[rep.Cycle]; dup {
+			t.Fatalf("seed %d phase %d: cycle %d accepted twice — double count", seed, phase, rep.Cycle)
+		}
+		protos, err := rep.Protocols()
+		if err != nil {
+			t.Fatalf("seed %d phase %d: accepted report corrupt: %v", seed, phase, err)
+		}
+		var sum uint64
+		for _, c := range protos.Protos {
+			sum += c.Packets
+		}
+		cycles[rep.Cycle] = sum
+	}
+
+	var merged uint64
+	for _, c := range cycles {
+		merged += c
+	}
+	if merged != recorded {
+		t.Errorf("seed %d: conservation violated: recorded %d packets, cycles carried %d (%v)",
+			seed, recorded, merged, cycles)
+	}
+	return inj.Faulted()
+}
+
+// TestChaosSoakConservation drives the agent/collector pair through
+// many seeded fault schedules — dropped responses, mid-frame resets,
+// partial writes, corrupted headers, delays — and asserts the
+// report-and-reset accounting survives every one: no recorded packet is
+// lost, none is counted twice (DESIGN.md §11). Schedules are sharded
+// across parallel subtests; every schedule is deterministic in its
+// seed.
+func TestChaosSoakConservation(t *testing.T) {
+	n := chaosSchedules
+	if testing.Short() {
+		n = 120
+	}
+	const shards = 8
+	var faulted atomic.Int64
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("shard%d", s), func(t *testing.T) {
+			t.Parallel()
+			for seed := s; seed < n; seed += shards {
+				faulted.Add(int64(runChaosSchedule(t, uint64(seed))))
+			}
+		})
+	}
+	t.Cleanup(func() {
+		// With FaultProb 0.75 and budget 4 the soak should average well
+		// over one faulted connection per schedule; anywhere near zero
+		// means the harness stopped injecting and the soak proves
+		// nothing.
+		if got := faulted.Load(); got < int64(n) {
+			t.Errorf("only %d faulted connections across %d schedules: chaos harness inactive", got, n)
+		}
+	})
+}

@@ -2,8 +2,10 @@ package collect
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"net"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -36,15 +38,26 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRejectsGarbage(t *testing.T) {
-	// Bad magic.
-	data := []byte{0xde, 0xad, 1, 1, 0, 0, 0, 0}
+	// Bad magic: rejected from the first four bytes alone.
+	data := []byte{0xde, 0xad, 2, 1}
 	if _, _, err := readFrame(bytes.NewReader(data)); !errors.Is(err, ErrWire) {
 		t.Errorf("bad magic: %v", err)
 	}
-	// Bad version.
-	data = []byte{0x53, 0x4e, 99, 1, 0, 0, 0, 0}
+	// Bad version: a typed ErrVersion (still wrapping ErrWire), again
+	// from the first four bytes, so a short v1 frame cannot stall the
+	// reader.
+	data = []byte{0x53, 0x4e, 99, 1}
+	if _, _, err := readFrame(bytes.NewReader(data)); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version not ErrVersion: %v", err)
+	}
 	if _, _, err := readFrame(bytes.NewReader(data)); !errors.Is(err, ErrWire) {
-		t.Errorf("bad version: %v", err)
+		t.Errorf("bad version not ErrWire: %v", err)
+	}
+	// A v1 frame (8-byte header, version 1, empty payload) must yield
+	// ErrVersion without waiting for more bytes.
+	v1 := []byte{0x53, 0x4e, 1, 1, 0, 0, 0, 0}
+	if _, _, err := readFrame(bytes.NewReader(v1)); !errors.Is(err, ErrVersion) {
+		t.Errorf("v1 frame: %v", err)
 	}
 	// Oversized payload length.
 	var buf bytes.Buffer
@@ -61,6 +74,66 @@ func TestFrameRejectsGarbage(t *testing.T) {
 	if _, _, err := readFrame(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated payload accepted")
 	}
+	// Corrupted checksum: a bit flip anywhere in header or payload is
+	// rejected, never dispatched.
+	buf.Reset()
+	_ = writeFrame(&buf, TypePoll, []byte("payload"))
+	for bit := 0; bit < 8; bit++ {
+		for _, idx := range []int{3, 8, frameHeader + 2} { // type byte, crc byte, payload byte
+			flipped := append([]byte(nil), buf.Bytes()...)
+			flipped[idx] ^= 1 << bit
+			if _, _, err := readFrame(bytes.NewReader(flipped)); !errors.Is(err, ErrWire) {
+				t.Errorf("flip byte %d bit %d: %v", idx, bit, err)
+			}
+		}
+	}
+}
+
+func TestReadFrameLargePayloadRoundTrip(t *testing.T) {
+	// A payload crossing several growth chunks survives intact.
+	big := make([]byte, 3*readChunk+17)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, TypeReport, big); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeReport || !bytes.Equal(got, big) {
+		t.Fatalf("large payload mangled: typ=%d len=%d", typ, len(got))
+	}
+}
+
+func TestReadFrameBoundedAllocation(t *testing.T) {
+	// A forged header declaring MaxPayload followed by almost no data
+	// must fail without ever allocating the declared 64 MiB.
+	hdr := make([]byte, frameHeader)
+	hdr[0], hdr[1] = 0x53, 0x4e
+	hdr[2], hdr[3] = wireVersion, TypePoll
+	binary.LittleEndian.PutUint32(hdr[4:], MaxPayload)
+	data := append(hdr, make([]byte, 16)...)
+
+	const rounds = 8
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if _, _, err := readFrame(bytes.NewReader(data)); err == nil {
+			t.Fatal("truncated jumbo frame accepted")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	alloc := after.TotalAlloc - before.TotalAlloc
+	// Each round may allocate up to one growth step past the received
+	// bytes; 8 MiB total is orders of magnitude below the 512 MiB the
+	// trust-the-header decoder would have burned.
+	if alloc > 8<<20 {
+		t.Fatalf("readFrame allocated %d bytes across %d truncated jumbo frames", alloc, rounds)
+	}
 }
 
 func TestReportRoundTrip(t *testing.T) {
@@ -68,7 +141,7 @@ func TestReportRoundTrip(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		set.Record(samplePacket(i), 1)
 	}
-	payload, err := encodeReport("ENSS-SanDiego", set)
+	payload, err := encodeReport("ENSS-SanDiego", set, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,8 +149,8 @@ func TestReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Node != "ENSS-SanDiego" || rep.Backbone != arts.T1 {
-		t.Fatalf("header = %q %v", rep.Node, rep.Backbone)
+	if rep.Node != "ENSS-SanDiego" || rep.Backbone != arts.T1 || rep.Cycle != 42 {
+		t.Fatalf("header = %q %v cycle %d", rep.Node, rep.Backbone, rep.Cycle)
 	}
 	if len(rep.Objects) != 7 {
 		t.Fatalf("objects = %d", len(rep.Objects))
@@ -104,7 +177,7 @@ func TestReportRoundTrip(t *testing.T) {
 func TestDecodeReportCorruption(t *testing.T) {
 	set := arts.NewObjectSet(arts.T3)
 	set.Record(samplePacket(1), 1)
-	payload, err := encodeReport("node", set)
+	payload, err := encodeReport("node", set, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

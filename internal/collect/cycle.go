@@ -25,13 +25,14 @@ func (c *Collector) RunCycles(ctx context.Context, addrs []string, interval time
 		defer ticker.Stop()
 		for {
 			results := c.PollAll(addrs)
-			view, err := Aggregate(results)
-			if err == nil {
-				select {
-				case out <- CycleView{At: c.now(), View: view}:
-				case <-ctx.Done():
-					return
-				}
+			// Aggregate always returns a view; an all-failed cycle
+			// (ErrNoReports) is still delivered so the consumer sees the
+			// per-node failures rather than a silently skipped interval.
+			view, _ := Aggregate(results)
+			select {
+			case out <- CycleView{At: c.now(), View: view}:
+			case <-ctx.Done():
+				return
 			}
 			select {
 			case <-ticker.C:

@@ -12,7 +12,7 @@ import (
 func FuzzDecodeReport(f *testing.F) {
 	set := arts.NewObjectSet(arts.T1)
 	set.Record(samplePacket(1), 1)
-	valid, err := encodeReport("node", set)
+	valid, err := encodeReport("node", set, 1)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -70,15 +70,70 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	})
 }
 
-// FuzzReadFrame: arbitrary streams must never panic the frame reader.
+// FuzzReadFrame: arbitrary streams must never panic the frame reader,
+// and anything it accepts must round-trip through writeFrame with the
+// checksum intact. The corpus seeds every header stage: valid frames,
+// old-version headers, forged jumbo lengths, and flipped checksum
+// bytes.
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
 	if err := writeFrame(&buf, TypePoll, []byte("payload")); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
-	f.Add([]byte{0x53, 0x4e, 1, 1, 0xff, 0xff, 0xff, 0x7f})
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	// v1 header (8 bytes) and a truncated v2 prefix.
+	f.Add([]byte{0x53, 0x4e, 1, 1, 0, 0, 0, 0})
+	f.Add(valid[:4])
+	// Forged jumbo payload lengths, at and past the limit.
+	f.Add([]byte{0x53, 0x4e, 2, 1, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Add([]byte{0x53, 0x4e, 2, 1, 0x00, 0x00, 0x00, 0x04, 0, 0, 0, 0})
+	// Flipped checksum and flipped type byte.
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[8] ^= 0x10
+	f.Add(crcFlip)
+	typeFlip := append([]byte(nil), valid...)
+	typeFlip[3] ^= 0x02
+	f.Add(typeFlip)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _, _ = readFrame(bytes.NewReader(data))
+		msgType, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := writeFrame(&out, msgType, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		typ2, payload2, err := readFrame(&out)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if typ2 != msgType || !bytes.Equal(payload, payload2) {
+			t.Fatal("frame round trip not canonical")
+		}
+	})
+}
+
+// FuzzDecodeAck: the poll request payload decoder must reject anything
+// but exactly eight bytes and round-trip what it accepts.
+func FuzzDecodeAck(f *testing.F) {
+	f.Add(encodeAck(0))
+	f.Add(encodeAck(^uint64(0)))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ack, err := decodeAck(data)
+		if err != nil {
+			if len(data) == 8 {
+				t.Fatalf("8-byte ack rejected: %v", err)
+			}
+			return
+		}
+		if len(data) != 8 {
+			t.Fatalf("accepted %d-byte ack payload", len(data))
+		}
+		if !bytes.Equal(encodeAck(ack), data) {
+			t.Fatal("ack round trip not canonical")
+		}
 	})
 }

@@ -6,24 +6,39 @@
 // many agents concurrently and merges their reports into a
 // backbone-wide view.
 //
-// Wire protocol (all integers little-endian):
+// Wire protocol version 2 (all integers little-endian):
 //
-//	frame:   magic uint16 = 0x4E53 ("NS"), version uint8 = 1,
-//	         type uint8, payloadLen uint32, payload.
-//	types:   1 = poll request (report + reset), 2 = query request
-//	         (report only), 3 = report response, 4 = error response.
-//	report:  nodeName (uint16 len + bytes), backbone uint8,
+//	frame:   magic uint16 = 0x4E53 ("NS"), version uint8 = 2,
+//	         type uint8, payloadLen uint32, crc uint32 (IEEE CRC-32
+//	         over the first 8 header bytes and the payload), payload.
+//	types:   1 = poll request (payload: ack uint64, the last cycle
+//	         sequence this collector received; cuts or retransmits a
+//	         cycle), 2 = query request (report only, no cycle), 3 =
+//	         report response, 4 = error response, 5 = snapshot query,
+//	         6 = snapshot response.
+//	report:  cycle uint64 (0 = live query view, >= 1 = poll cycle),
+//	         nodeName (uint16 len + bytes), backbone uint8,
 //	         objectCount uint16, then per object:
 //	         name (uint16 len + bytes), dataLen uint32, data.
 //
+// Version 2 replaced the v1 report-and-reset poll with an ack-based
+// cycle: the agent keeps each cut cycle until the next poll request
+// acknowledges it, so a poll retried after a lost response retransmits
+// the same cycle instead of losing the interval (DESIGN.md §11).
+// Version 1 frames are answered with a typed error response before the
+// connection is dropped.
+//
 // Payloads are bounded (MaxPayload) so a corrupt or malicious length
-// field cannot exhaust memory.
+// field cannot exhaust memory, and the payload buffer grows chunk by
+// chunk with the bytes actually received, so a forged header cannot
+// force a large allocation either.
 package collect
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"netsample/internal/arts"
@@ -32,13 +47,18 @@ import (
 // Protocol constants.
 const (
 	wireMagic    = 0x4E53
-	wireVersion  = 1
-	frameHeader  = 8
+	wireVersion  = 2
+	frameHeader  = 12
 	MaxPayload   = 64 << 20 // 64 MiB bounds a full src-dst matrix report
 	maxNameLen   = 256
 	maxObjects   = 64
 	maxObjectLen = MaxPayload
 )
+
+// readChunk caps how far ahead of the received bytes the payload buffer
+// is allocated: a forged header declaring MaxPayload costs at most one
+// chunk until real payload bytes arrive.
+const readChunk = 64 << 10
 
 // Message types.
 const (
@@ -55,6 +75,19 @@ const (
 // ErrWire reports a malformed frame or report.
 var ErrWire = errors.New("collect: malformed wire data")
 
+// ErrVersion reports a frame from a peer speaking another protocol
+// version. It wraps ErrWire; agents answer it with a typed error
+// response, and collectors treat it as final rather than retryable.
+var ErrVersion = fmt.Errorf("%w: unsupported wire version", ErrWire)
+
+// frameCRC is the frame checksum: IEEE CRC-32 over the first 8 header
+// bytes (magic, version, type, payload length) and the payload. It is
+// what lets the chaos harness corrupt headers arbitrarily — a flipped
+// bit is always rejected here instead of silently redirecting a poll.
+func frameCRC(hdr []byte, payload []byte) uint32 {
+	return crc32.Update(crc32.ChecksumIEEE(hdr[:8]), crc32.IEEETable, payload)
+}
+
 // writeFrame sends one frame.
 func writeFrame(w io.Writer, msgType uint8, payload []byte) error {
 	if len(payload) > MaxPayload {
@@ -65,6 +98,7 @@ func writeFrame(w io.Writer, msgType uint8, payload []byte) error {
 	hdr[2] = wireVersion
 	hdr[3] = msgType
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], frameCRC(hdr[:], payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -72,38 +106,90 @@ func writeFrame(w io.Writer, msgType uint8, payload []byte) error {
 	return err
 }
 
-// readFrame receives one frame, enforcing the payload bound.
+// readFrame receives one frame, enforcing the payload bound and the
+// frame checksum. Magic and version are validated from the first four
+// bytes alone, before the rest of the header is read, so a v1 peer
+// (whose header is shorter) gets ErrVersion instead of stalling the
+// reader on bytes that will never arrive.
 func readFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
 	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		return 0, nil, err
 	}
 	if binary.LittleEndian.Uint16(hdr[0:]) != wireMagic {
 		return 0, nil, fmt.Errorf("%w: bad magic", ErrWire)
 	}
 	if hdr[2] != wireVersion {
-		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrWire, hdr[2])
+		return 0, nil, fmt.Errorf("%w %d (want %d)", ErrVersion, hdr[2], wireVersion)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrWire, err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
 	if n > MaxPayload {
 		return 0, nil, fmt.Errorf("%w: payload %d exceeds limit", ErrWire, n)
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err = readPayload(r, int(n))
+	if err != nil {
 		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrWire, err)
 	}
+	if frameCRC(hdr[:], payload) != binary.LittleEndian.Uint32(hdr[8:]) {
+		return 0, nil, fmt.Errorf("%w: frame checksum mismatch", ErrWire)
+	}
 	return hdr[3], payload, nil
+}
+
+// readPayload reads exactly n payload bytes, growing the buffer by
+// doubling (capped at n) as bytes arrive rather than trusting the
+// declared length up front.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, min(n, readChunk))
+	filled := 0
+	for {
+		m, err := io.ReadFull(r, buf[filled:])
+		filled += m
+		if err != nil {
+			return nil, err
+		}
+		if filled == n {
+			return buf, nil
+		}
+		next := make([]byte, min(n, 2*len(buf)))
+		copy(next, buf)
+		buf = next
+	}
+}
+
+// encodeAck builds a poll request payload: the cycle sequence number of
+// the last report this collector received from the agent (0 = none).
+func encodeAck(ack uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], ack)
+	return b[:]
+}
+
+// decodeAck parses a poll request payload.
+func decodeAck(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: poll request payload is %d bytes, want 8", ErrWire, len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
 }
 
 // Report is one node's poll response, decoded.
 type Report struct {
 	Node     string
+	Cycle    uint64 // poll cycle sequence; 0 marks a live query view
 	Backbone arts.Backbone
 	Objects  map[string][]byte // object name → serialized counters
 }
 
-// encodeReport serializes a report from a node's object set.
-func encodeReport(node string, set *arts.ObjectSet) ([]byte, error) {
+// encodeReport serializes a report from a node's object set, stamped
+// with the given cycle sequence number (0 for a query view).
+func encodeReport(node string, set *arts.ObjectSet, cycle uint64) ([]byte, error) {
 	if len(node) > maxNameLen {
 		return nil, fmt.Errorf("%w: node name too long", ErrWire)
 	}
@@ -112,6 +198,7 @@ func encodeReport(node string, set *arts.ObjectSet) ([]byte, error) {
 		return nil, fmt.Errorf("%w: too many objects", ErrWire)
 	}
 	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, cycle)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(node)))
 	buf = append(buf, node...)
 	buf = append(buf, byte(set.Backbone))
@@ -136,7 +223,11 @@ func encodeReport(node string, set *arts.ObjectSet) ([]byte, error) {
 // decodeReport parses a report payload.
 func decodeReport(payload []byte) (*Report, error) {
 	r := &Report{Objects: make(map[string][]byte)}
-	off := 0
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("%w: missing cycle sequence", ErrWire)
+	}
+	r.Cycle = binary.LittleEndian.Uint64(payload)
+	off := 8
 	name, off, err := readString(payload, off)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,381 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInjectorDeterminism: the fault schedule is a pure function of the
+// seed and the wrap order — two injectors with the same seed draw
+// bit-identical schedules.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{FaultProb: 0.8, MaxOffset: 128}
+	a := NewInjector(42, cfg)
+	b := NewInjector(42, cfg)
+	for i := 0; i < 200; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+	c, d := NewInjector(42, cfg), NewInjector(43, cfg)
+	same := true
+	for i := 0; i < 200; i++ {
+		if c.Next() != d.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical 200-fault schedules")
+	}
+}
+
+// TestInjectorBudget: once the budget is spent every further connection
+// is clean, which is what lets a chaos soak guarantee eventual success.
+func TestInjectorBudget(t *testing.T) {
+	in := NewInjector(1, Config{FaultProb: 1, Budget: 3})
+	for i := 0; i < 10; i++ {
+		f := in.Next()
+		if i < 3 && f.Kind == None {
+			t.Fatalf("draw %d: FaultProb 1 within budget drew None", i)
+		}
+		if i >= 3 && f.Kind != None {
+			t.Fatalf("draw %d: fault %v past budget", i, f.Kind)
+		}
+	}
+	if got := in.Faulted(); got != 3 {
+		t.Fatalf("Faulted() = %d, want 3", got)
+	}
+	if got := in.Wrapped(); got != 10 {
+		t.Fatalf("Wrapped() = %d, want 10", got)
+	}
+}
+
+// TestInjectorDrawBounds: drawn schedules stay inside the configured
+// bounds and respect the per-kind constraints.
+func TestInjectorDrawBounds(t *testing.T) {
+	cfg := Config{FaultProb: 1, MaxOffset: 32, CorruptWindow: 4, MaxDelay: 2 * time.Millisecond}
+	in := NewInjector(7, cfg)
+	for i := 0; i < 500; i++ {
+		f := in.Next()
+		if f.Kind == None || f.Kind >= numKinds {
+			t.Fatalf("draw %d: kind %v out of range", i, f.Kind)
+		}
+		switch f.Kind {
+		case Corrupt:
+			if f.Offset < 0 || f.Offset >= cfg.CorruptWindow {
+				t.Fatalf("draw %d: corrupt offset %d outside window %d", i, f.Offset, cfg.CorruptWindow)
+			}
+		case Partial:
+			if !f.OnWrite {
+				t.Fatalf("draw %d: partial fault on the read path", i)
+			}
+			fallthrough
+		default:
+			if f.Offset < 0 || f.Offset >= cfg.MaxOffset {
+				t.Fatalf("draw %d: offset %d outside [0, %d)", i, f.Offset, cfg.MaxOffset)
+			}
+		}
+		if f.Bit > 7 {
+			t.Fatalf("draw %d: bit %d out of range", i, f.Bit)
+		}
+		if f.Delay <= 0 || f.Delay > cfg.MaxDelay {
+			t.Fatalf("draw %d: delay %v outside (0, %v]", i, f.Delay, cfg.MaxDelay)
+		}
+	}
+}
+
+// faultedPipe wires a fault schedule onto one end of a net.Pipe and
+// drains the peer in the background, returning the faulted conn, the
+// peer, and a way to collect everything the peer received.
+func faultedPipe(t *testing.T, f Fault) (net.Conn, net.Conn, func() []byte) {
+	t.Helper()
+	in := NewInjector(0, Config{})
+	local, peer := net.Pipe()
+	faulted := in.WrapFault(local, f)
+	var mu sync.Mutex
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 256)
+		for {
+			n, err := peer.Read(buf)
+			mu.Lock()
+			got = append(got, buf[:n]...)
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return faulted, peer, func() []byte {
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+}
+
+// TestWriteDrop: the writer is told every byte landed while the peer
+// sees the stream truncated at the fault offset, then EOF — the
+// lost-response failure the ack protocol exists for.
+func TestWriteDrop(t *testing.T) {
+	faulted, _, recv := faultedPipe(t, Fault{Kind: Drop, OnWrite: true, Offset: 4})
+	n, err := faulted.Write([]byte("hello world"))
+	if n != 11 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (11, nil): drop must claim success", n, err)
+	}
+	if got := string(recv()); got != "hell" {
+		t.Fatalf("peer received %q, want %q", got, "hell")
+	}
+	// The transport is closed: further writes still claim success but
+	// deliver nothing.
+	if n, err := faulted.Write([]byte("more")); n != 4 || err != nil {
+		t.Fatalf("post-drop Write = (%d, %v), want (4, nil)", n, err)
+	}
+}
+
+// TestWritePartial: the writer learns about the short write; the peer
+// sees only the forwarded prefix.
+func TestWritePartial(t *testing.T) {
+	faulted, _, recv := faultedPipe(t, Fault{Kind: Partial, OnWrite: true, Offset: 4})
+	n, err := faulted.Write([]byte("hello world"))
+	if n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Write = (%d, %v), want (4, ErrShortWrite)", n, err)
+	}
+	if got := string(recv()); got != "hell" {
+		t.Fatalf("peer received %q, want %q", got, "hell")
+	}
+}
+
+// TestWriteReset: the operation in flight fails with ErrReset after the
+// prefix crosses the wire.
+func TestWriteReset(t *testing.T) {
+	faulted, _, recv := faultedPipe(t, Fault{Kind: Reset, OnWrite: true, Offset: 4})
+	n, err := faulted.Write([]byte("hello world"))
+	if n != 4 || !errors.Is(err, ErrReset) {
+		t.Fatalf("Write = (%d, %v), want (4, ErrReset)", n, err)
+	}
+	if got := string(recv()); got != "hell" {
+		t.Fatalf("peer received %q, want %q", got, "hell")
+	}
+	if _, err := faulted.Write([]byte("more")); !errors.Is(err, ErrReset) {
+		t.Fatalf("post-reset Write err = %v, want ErrReset", err)
+	}
+}
+
+// TestWriteCorrupt: exactly one scheduled bit flips, at an absolute
+// stream offset that spans write boundaries, and the caller's buffer is
+// untouched.
+func TestWriteCorrupt(t *testing.T) {
+	faulted, peer, recv := faultedPipe(t, Fault{Kind: Corrupt, OnWrite: true, Offset: 3, Bit: 5})
+	first := []byte("ab")
+	second := []byte("cdef")
+	if _, err := faulted.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulted.Write(second); err != nil {
+		t.Fatal(err)
+	}
+	_ = faulted.Close()
+	_ = peer.Close()
+	want := []byte("abcdef")
+	want[3] ^= 1 << 5
+	if got := recv(); string(got) != string(want) {
+		t.Fatalf("peer received %q, want %q", got, want)
+	}
+	if string(second) != "cdef" {
+		t.Fatalf("caller buffer mutated to %q", second)
+	}
+}
+
+// TestReadDrop: the faulted side reads the stream truncated at the
+// offset, then EOF, and the transport is closed underneath the peer.
+func TestReadDrop(t *testing.T) {
+	in := NewInjector(0, Config{})
+	local, peer := net.Pipe()
+	faulted := in.WrapFault(local, Fault{Kind: Drop, OnWrite: false, Offset: 4})
+	go func() {
+		_, _ = peer.Write([]byte("hello world"))
+	}()
+	got, err := io.ReadAll(faulted)
+	if err != nil {
+		t.Fatalf("ReadAll err = %v, want nil (drop ends in EOF)", err)
+	}
+	if string(got) != "hell" {
+		t.Fatalf("read %q, want %q", got, "hell")
+	}
+}
+
+// TestReadReset: reads fail with ErrReset once the offset is crossed.
+func TestReadReset(t *testing.T) {
+	in := NewInjector(0, Config{})
+	local, peer := net.Pipe()
+	faulted := in.WrapFault(local, Fault{Kind: Reset, OnWrite: false, Offset: 4})
+	go func() {
+		_, _ = peer.Write([]byte("hello world"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(faulted, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulted.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("Read err = %v, want ErrReset", err)
+	}
+}
+
+// TestReadCorrupt: the scheduled bit flips on the read path.
+func TestReadCorrupt(t *testing.T) {
+	in := NewInjector(0, Config{})
+	local, peer := net.Pipe()
+	faulted := in.WrapFault(local, Fault{Kind: Corrupt, OnWrite: false, Offset: 2, Bit: 0})
+	go func() {
+		_, _ = peer.Write([]byte("abcdef"))
+		_ = peer.Close()
+	}()
+	got, err := io.ReadAll(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abcdef")
+	want[2] ^= 1
+	if string(got) != string(want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+// TestDelayOp: every faulted-direction operation pauses through the
+// injector's Sleep seam for the scheduled duration.
+func TestDelayOp(t *testing.T) {
+	in := NewInjector(0, Config{})
+	var mu sync.Mutex
+	var pauses []time.Duration
+	in.Sleep = func(d time.Duration) {
+		mu.Lock()
+		pauses = append(pauses, d)
+		mu.Unlock()
+	}
+	local, peer := net.Pipe()
+	faulted := in.WrapFault(local, Fault{Kind: DelayOp, OnWrite: true, Delay: 5 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := faulted.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = faulted.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(pauses) != 3 {
+		t.Fatalf("Sleep called %d times, want 3", len(pauses))
+	}
+	for _, d := range pauses {
+		if d != 5*time.Millisecond {
+			t.Fatalf("Sleep(%v), want 5ms", d)
+		}
+	}
+}
+
+// TestWrapNone: a clean schedule returns the connection untouched — no
+// wrapper overhead on the unfaulted path.
+func TestWrapNone(t *testing.T) {
+	in := NewInjector(0, Config{})
+	local, peer := net.Pipe()
+	defer local.Close()
+	defer peer.Close()
+	if wrapped := in.WrapFault(local, Fault{}); wrapped != local {
+		t.Fatal("None fault wrapped the connection")
+	}
+	if in := NewInjector(0, Config{FaultProb: 0}); in.Next().Kind != None {
+		t.Fatal("FaultProb 0 drew a fault")
+	}
+}
+
+// TestListenerScripting drives a real TCP listener: scripted accept
+// errors surface in order before any connection, and scripted fault
+// schedules apply to the next accepted connections.
+func TestListenerScripting(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(0, Config{}) // FaultProb 0: drawn schedules are clean
+	fln := in.Listener(ln)
+	defer fln.Close()
+	errBoom := errors.New("boom")
+	fln.FailAccepts(errBoom, errBoom)
+	fln.ScriptFaults(Fault{Kind: Drop, OnWrite: false, Offset: 0})
+
+	for i := 0; i < 2; i++ {
+		if _, err := fln.Accept(); !errors.Is(err, errBoom) {
+			t.Fatalf("scripted Accept %d err = %v, want errBoom", i, err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, _ = c.Write([]byte("dropped"))
+		done <- nil
+	}()
+	server, err := fln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scripted read-drop at offset 0 means the server sees EOF
+	// immediately, whatever the client sent.
+	buf := make([]byte, 16)
+	if n, err := server.Read(buf); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("scripted drop Read = (%d, %v), want (0, EOF)", n, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// With scripts exhausted and FaultProb 0, the next connection is
+	// passthrough-clean.
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, _ = c.Write([]byte("clean"))
+		done <- nil
+	}()
+	server, err = fln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(server, buf[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:5]) != "clean" {
+		t.Fatalf("clean conn read %q", buf[:5])
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Faulted(); got != 0 {
+		t.Fatalf("Faulted() = %d after scripted-only faults, want 0", got)
+	}
+}
