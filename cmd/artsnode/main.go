@@ -68,10 +68,20 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	go replay(agent, tr, *k, *loop, *realtime, stop)
+	// quit is a close-broadcast seam: the signal is consumed once here,
+	// and closing quit fans the shutdown out to the replayer, whose exit
+	// is then joined before the agent is torn down under it.
+	quit := make(chan struct{})
+	replayDone := make(chan struct{})
+	go func() {
+		defer close(replayDone)
+		replay(agent, tr, *k, *loop, *realtime, quit)
+	}()
 
 	<-stop
 	fmt.Println("shutting down")
+	close(quit)
+	<-replayDone
 	if err := agent.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
@@ -95,7 +105,7 @@ func loadOrGenerate(path string, seconds int, rate float64) (*trace.Trace, error
 
 // replay feeds the trace through the agent, applying 1-in-k firmware
 // selection with scale-up weight k.
-func replay(agent *collect.Agent, tr *trace.Trace, k int, loop, realtime bool, stop <-chan os.Signal) {
+func replay(agent *collect.Agent, tr *trace.Trace, k int, loop, realtime bool, stop <-chan struct{}) {
 	if k < 1 {
 		k = 1
 	}

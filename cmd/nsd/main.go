@@ -95,6 +95,7 @@ func main() {
 			log.Fatalf("pprof: %v", err)
 		}
 		log.Printf("pprof listening on %s", ln.Addr())
+		//nslint:allow waitstall pprof server is process-lifetime by design; the listener dies with the daemon
 		go func() {
 			// DefaultServeMux carries the net/http/pprof handlers.
 			if err := http.Serve(ln, nil); err != nil {

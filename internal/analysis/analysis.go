@@ -1,12 +1,24 @@
 // Package analysis is a stdlib-only static-analysis framework for the
 // netsample module, built on go/parser, go/ast and go/types. It exists
 // because every experimental result in this reproduction depends on
-// bit-for-bit determinism: traces, samples and φ-scores must regenerate
-// identically from a 64-bit seed. The rules in this package machine-check
-// the invariants that make that true — all randomness flows through
-// internal/dist.RNG, wall-clock reads go through injectable clock seams,
-// RNGs stay confined to one goroutine, floats are never compared with ==,
-// and errors from module functions are never silently discarded.
+// bit-for-bit determinism and on a hot path with hard concurrency and
+// allocation contracts: traces, samples and φ-scores must regenerate
+// identically from a 64-bit seed, and the streaming pipeline's per-packet
+// path must stay lock-clean and allocation-free. The rules in this
+// package machine-check the invariants that make that true — all
+// randomness flows through internal/dist.RNG, wall-clock reads go through
+// injectable clock seams, RNGs stay confined to one goroutine, floats are
+// never compared with ==, errors from module functions are never silently
+// discarded, atomic fields are never mixed with plain access, 64-bit
+// atomics are 8-byte aligned, annotated hot paths do not allocate,
+// goroutines are tied to shutdown seams, and mutexes are never held
+// across blocking operations.
+//
+// Analysis runs over a Module: the type-checked packages plus a
+// module-local call graph (static calls and interface dispatch resolved
+// against module implementations), so rules can propagate per-function
+// facts through callees. Packages are analyzed in parallel; diagnostics
+// come out deterministically ordered.
 //
 // Findings can be suppressed case-by-case with an annotation on the
 // offending line or the line directly above it:
@@ -14,7 +26,10 @@
 //	//nslint:allow <rule> <reason>
 //
 // The reason is mandatory; an allow comment without one is itself
-// reported. The framework is exposed through cmd/nslint (CLI) and the
+// reported. Two further directives mark the hot-path contract on function
+// declarations: //nslint:hotpath (a hotalloc closure root) and
+// //nslint:coldpath <reason> (a pruning boundary the closure does not
+// cross). The framework is exposed through cmd/nslint (CLI) and the
 // module's tier-1 lint_test.go, so `go test ./...` fails on any new
 // violation.
 package analysis
@@ -25,6 +40,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // AllowPrefix is the comment prefix that suppresses a diagnostic.
@@ -56,11 +72,38 @@ type Rule interface {
 	Check(*Pass)
 }
 
+// Collector is an optional Rule extension for rules that need
+// module-wide facts before checking any single package. Collect is
+// called once per package, before any Check call runs; calls to one
+// rule's Collect are serialized, so the rule may accumulate state in
+// plain fields.
+type Collector interface {
+	Collect(*Pass)
+}
+
+// Module is the unit of analysis: the loaded packages plus the
+// module-local call graph rules use to propagate facts through callees.
+type Module struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// NewModule builds the call graph over pkgs and returns the analysis
+// context shared by all rules.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, Graph: buildCallGraph(pkgs)}
+}
+
+// HotClosure returns the transitive //nslint:hotpath closure of the
+// module, in deterministic BFS order.
+func (m *Module) HotClosure() []HotEntry { return m.Graph.HotClosure() }
+
 // Pass carries one (package, rule) run and collects its diagnostics.
 type Pass struct {
-	Pkg   *Package
-	rule  string
-	diags *[]Diagnostic
+	Pkg    *Package
+	Module *Module
+	rule   string
+	diags  *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -74,6 +117,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// AllowSite is one //nslint:allow annotation found in the module, with
+// whether it actually suppressed a diagnostic during the run. The
+// suppression-hygiene test uses this to fail on stale allows.
+type AllowSite struct {
+	File   string
+	Line   int
+	Rule   string
+	Reason string
+	Used   bool
 }
 
 // allowKey identifies one allow annotation site.
@@ -90,49 +144,167 @@ type allowKey struct {
 // missing reason — are reported under the pseudo-rule "nslint" and cannot
 // themselves be suppressed.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
-	var diags []Diagnostic
-	allowed := make(map[allowKey]bool)
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			collectAllows(pkg.Fset, f, allowed, &diags)
-		}
-		for _, r := range rules {
-			r.Check(&Pass{Pkg: pkg, rule: r.Name(), diags: &diags})
+	diags, _ := NewModule(pkgs).RunAudit(rules)
+	return diags
+}
+
+// RunAudit is Run plus the module's allow-annotation inventory, each
+// site marked used or stale. Packages run in parallel: rules implementing
+// Collector first see every package (collect phase), then every rule
+// checks every package (check phase); diagnostics are merged in package
+// order so output is deterministic.
+func (m *Module) RunAudit(rules []Rule) ([]Diagnostic, []AllowSite) {
+	perPkg := make([][]Diagnostic, len(m.Pkgs))
+	allowsPerPkg := make([][]*AllowSite, len(m.Pkgs))
+
+	var collectors []Rule
+	collectMu := make(map[Rule]*sync.Mutex)
+	for _, r := range rules {
+		if _, ok := r.(Collector); ok {
+			collectors = append(collectors, r)
+			collectMu[r] = &sync.Mutex{}
 		}
 	}
+	if len(collectors) > 0 {
+		m.forEachPkg(func(i int, pkg *Package) {
+			for _, r := range collectors {
+				mu := collectMu[r]
+				mu.Lock()
+				r.(Collector).Collect(&Pass{Pkg: pkg, Module: m, rule: r.Name(), diags: &perPkg[i]})
+				mu.Unlock()
+			}
+		})
+	}
+	m.forEachPkg(func(i int, pkg *Package) {
+		for _, f := range pkg.Files {
+			collectAllows(pkg.Fset, f, &allowsPerPkg[i], &perPkg[i])
+		}
+		for _, r := range rules {
+			r.Check(&Pass{Pkg: pkg, Module: m, rule: r.Name(), diags: &perPkg[i]})
+		}
+	})
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	diags = append(diags, m.directiveDiags()...)
+
+	allowed := make(map[allowKey]*AllowSite)
+	var allows []AllowSite
+	sites := make([]*AllowSite, 0)
+	for _, pkgAllows := range allowsPerPkg {
+		sites = append(sites, pkgAllows...)
+	}
+	for _, a := range sites {
+		allowed[allowKey{a.File, a.Line, a.Rule}] = a
+	}
+
 	kept := diags[:0]
 	for _, d := range diags {
-		if d.Rule != "nslint" &&
-			(allowed[allowKey{d.File, d.Line, d.Rule}] ||
-				allowed[allowKey{d.File, d.Line - 1, d.Rule}]) {
-			continue
+		if d.Rule != "nslint" {
+			if a, ok := allowed[allowKey{d.File, d.Line, d.Rule}]; ok {
+				a.Used = true
+				continue
+			}
+			if a, ok := allowed[allowKey{d.File, d.Line - 1, d.Rule}]; ok {
+				a.Used = true
+				continue
+			}
 		}
 		kept = append(kept, d)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].File != kept[j].File {
-			return kept[i].File < kept[j].File
+	sortDiags(kept)
+	for _, a := range sites {
+		allows = append(allows, *a)
+	}
+	sort.Slice(allows, func(i, j int) bool {
+		if allows[i].File != allows[j].File {
+			return allows[i].File < allows[j].File
 		}
-		if kept[i].Line != kept[j].Line {
-			return kept[i].Line < kept[j].Line
-		}
-		if kept[i].Col != kept[j].Col {
-			return kept[i].Col < kept[j].Col
-		}
-		return kept[i].Rule < kept[j].Rule
+		return allows[i].Line < allows[j].Line
 	})
-	return kept
+	return kept, allows
+}
+
+// forEachPkg runs fn over every package concurrently.
+func (m *Module) forEachPkg(fn func(i int, pkg *Package)) {
+	var wg sync.WaitGroup
+	for i, pkg := range m.Pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			fn(i, pkg)
+		}(i, pkg)
+	}
+	wg.Wait()
+}
+
+// directiveDiags reports malformed or misplaced hotpath/coldpath
+// directives under the unsuppressible "nslint" pseudo-rule.
+func (m *Module) directiveDiags() []Diagnostic {
+	var out []Diagnostic
+	for _, site := range m.Graph.directives {
+		pos := site.pkg.Fset.Position(site.pos)
+		var msg string
+		switch {
+		case site.badForm != "":
+			msg = site.badForm
+		case !site.consumed:
+			msg = fmt.Sprintf("misplaced %s directive: it must appear in a function declaration's doc comment", site.text)
+		default:
+			continue
+		}
+		out = append(out, Diagnostic{
+			Rule: "nslint", Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: msg,
+		})
+	}
+	return out
+}
+
+// sortDiags orders diagnostics by file, line, column, then rule.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+}
+
+// isFuncDirective reports whether a comment is a hotpath/coldpath
+// function directive (exact prefix followed by end-of-comment or space).
+func isFuncDirective(text string) bool {
+	for _, prefix := range []string{HotpathPrefix, ColdpathPrefix} {
+		if rest, ok := strings.CutPrefix(text, prefix); ok {
+			if rest == "" || strings.HasPrefix(rest, " ") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // collectAllows scans one file's comments for allow annotations. A valid
 // annotation names a rule and gives a non-empty reason; anything else
-// under the nslint: prefix is reported so that a typo cannot silently
-// disable enforcement.
-func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]bool, diags *[]Diagnostic) {
+// under the nslint: prefix — other than the function directives handled
+// by the call graph — is reported so that a typo cannot silently disable
+// enforcement.
+func collectAllows(fset *token.FileSet, f *ast.File, allows *[]*AllowSite, diags *[]Diagnostic) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := c.Text
 			if !strings.HasPrefix(text, "//nslint:") {
+				continue
+			}
+			if isFuncDirective(text) {
 				continue
 			}
 			pos := fset.Position(c.Pos())
@@ -140,7 +312,7 @@ func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]bool, 
 			if !ok {
 				*diags = append(*diags, Diagnostic{
 					Rule: "nslint", Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Message: fmt.Sprintf("unrecognized nslint directive %q (only %s <rule> <reason> is supported)", text, AllowPrefix),
+					Message: fmt.Sprintf("unrecognized nslint directive %q (supported: %s <rule> <reason>, %s, %s <reason>)", text, AllowPrefix, HotpathPrefix, ColdpathPrefix),
 				})
 				continue
 			}
@@ -152,7 +324,12 @@ func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]bool, 
 				})
 				continue
 			}
-			allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			*allows = append(*allows, &AllowSite{
+				File:   pos.Filename,
+				Line:   pos.Line,
+				Rule:   fields[0],
+				Reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+			})
 		}
 	}
 }

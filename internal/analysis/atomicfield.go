@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicFieldRule reports struct fields that are accessed through
+// sync/atomic somewhere in the module but through a plain read or write
+// somewhere else. Mixed access is the classic lost-update/lost-wakeup
+// seed on the ring head/tail counters: the plain access is invisible to
+// the race the atomic one was supposed to close. Fields of the typed
+// atomic wrappers (atomic.Uint64 and friends) are immune by construction
+// and preferred; this rule covers the sync/atomic function form.
+//
+// The rule is a Collector: phase one records, for every struct field in
+// the module, each atomic access (the field's address passed to a
+// sync/atomic function) and each plain access (any other non-address
+// read or write). Phase two reports the plain accesses of every field
+// that also has at least one atomic access.
+type atomicFieldRule struct {
+	modulePath string
+
+	atomic map[*types.Var][]token.Pos // field -> atomic access sites
+	plain  map[*types.Var][]token.Pos // field -> plain access sites
+}
+
+func (r *atomicFieldRule) Name() string { return "atomicfield" }
+func (r *atomicFieldRule) Doc() string {
+	return "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere; mixed plain/atomic access hides races from the happens-before edges the atomic calls establish"
+}
+
+// Collect records atomic and plain accesses of struct fields in pkg.
+func (r *atomicFieldRule) Collect(pass *Pass) {
+	if r.atomic == nil {
+		r.atomic = make(map[*types.Var][]token.Pos)
+		r.plain = make(map[*types.Var][]token.Pos)
+	}
+	pkg := pass.Pkg
+	if !inEnforcedTree(r.modulePath, pkg.Path) {
+		return
+	}
+	// Fields whose address is taken inside a sync/atomic call argument.
+	atomicArgs := make(map[ast.Expr]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(pkg.Info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				arg = ast.Unparen(arg)
+				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					atomicArgs[ast.Unparen(ue.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := selectedField(pkg.Info, sel)
+			if field == nil {
+				return true
+			}
+			if atomicArgs[ast.Expr(sel)] {
+				r.atomic[field] = append(r.atomic[field], sel.Sel.Pos())
+				return true
+			}
+			r.plain[field] = append(r.plain[field], sel.Sel.Pos())
+			return true
+		})
+	}
+}
+
+// Check reports, once per package, the plain accesses of mixed fields
+// that are located in this package.
+func (r *atomicFieldRule) Check(pass *Pass) {
+	pkg := pass.Pkg
+	if !inEnforcedTree(r.modulePath, pkg.Path) {
+		return
+	}
+	fields := make([]*types.Var, 0, len(r.atomic))
+	for field := range r.atomic {
+		if len(r.plain[field]) > 0 {
+			fields = append(fields, field)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, field := range fields {
+		for _, pos := range r.plain[field] {
+			if !posInPackage(pkg, pos) {
+				continue
+			}
+			pass.Reportf(pos, "field %s is accessed with sync/atomic elsewhere; this plain access races with it (use atomic ops or a typed atomic.%s)",
+				field.Name(), suggestTypedAtomic(field))
+		}
+	}
+}
+
+// selectedField returns the struct field a selector expression denotes,
+// or nil when the selector is a method, package qualifier, or unknown.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// posInPackage reports whether pos falls inside one of pkg's files.
+func posInPackage(pkg *Package, pos token.Pos) bool {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// suggestTypedAtomic maps a field's plain integer type to the typed
+// atomic wrapper that would make mixed access impossible.
+func suggestTypedAtomic(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

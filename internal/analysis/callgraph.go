@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Function directives recognized on a FuncDecl's doc comment.
+const (
+	// HotpathPrefix marks a function as a hot-path root: the hotalloc
+	// rule forbids allocating constructs in it and in everything it
+	// transitively calls inside the module.
+	HotpathPrefix = "//nslint:hotpath"
+	// ColdpathPrefix marks a function as an explicit hot/cold boundary:
+	// the hotalloc closure does not descend into it. The directive
+	// requires a reason, because every coldpath declaration widens the
+	// gap between the static contract and the dynamic alloc tests.
+	ColdpathPrefix = "//nslint:coldpath"
+)
+
+// FuncInfo is one module function (or method) in the call graph.
+type FuncInfo struct {
+	// Obj is the canonical types object (generic origin, not an
+	// instantiation).
+	Obj *types.Func
+	// Decl is the function's syntax; Decl.Body may be nil for
+	// assembly-backed declarations.
+	Decl *ast.FuncDecl
+	// Pkg is the package the function is declared in.
+	Pkg *Package
+	// Hotpath and Coldpath record the function's directives.
+	Hotpath  bool
+	Coldpath bool
+
+	// static holds resolved direct callees (module and external),
+	// deduplicated, in first-call order.
+	static []*types.Func
+	// dynamic holds module methods reachable from this function through
+	// interface dispatch: for each interface method called, every module
+	// type implementing that interface contributes its concrete method.
+	dynamic []*types.Func
+}
+
+// CallGraph is the module-local call graph over a set of loaded
+// packages: one node per declared function, static edges from resolved
+// direct calls, and dynamic edges from interface dispatch resolved
+// against every module implementation. It is read-only after Build and
+// safe for concurrent use.
+type CallGraph struct {
+	// Funcs maps each declared function's canonical object to its node.
+	Funcs map[*types.Func]*FuncInfo
+
+	// directiveAt records every hotpath/coldpath directive comment by
+	// position; consumed directives were attached to a FuncDecl.
+	directives []directiveSite
+}
+
+// directiveSite is one //nslint:hotpath or //nslint:coldpath comment.
+type directiveSite struct {
+	pos      token.Pos
+	pkg      *Package
+	text     string
+	consumed bool
+	badForm  string // non-empty when the directive is malformed
+}
+
+// buildCallGraph indexes every FuncDecl of pkgs and resolves its call
+// edges. Interface calls are resolved against all named types declared
+// in pkgs, so the dynamic edges stay module-local by construction.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: make(map[*types.Func]*FuncInfo)}
+
+	// Pass 1: nodes and directives.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				info := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				g.Funcs[obj] = info
+			}
+		}
+	}
+	g.scanDirectives(pkgs)
+
+	// Collect the module's named types for interface resolution.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				named = append(named, n)
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, info := range g.Funcs {
+		if info.Decl.Body == nil {
+			continue
+		}
+		seenStatic := make(map[*types.Func]bool)
+		seenDyn := make(map[*types.Func]bool)
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(info.Pkg.Info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			fn = origin(fn)
+			if isInterfaceMethod(fn) {
+				for _, impl := range g.resolveInterfaceCall(fn, named) {
+					if !seenDyn[impl] {
+						seenDyn[impl] = true
+						info.dynamic = append(info.dynamic, impl)
+					}
+				}
+				return true
+			}
+			if !seenStatic[fn] {
+				seenStatic[fn] = true
+				info.static = append(info.static, fn)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// scanDirectives records every hotpath/coldpath comment and marks the
+// ones attached to a FuncDecl doc comment as consumed, setting the
+// declaring function's flags.
+func (g *CallGraph) scanDirectives(pkgs []*Package) {
+	consumed := make(map[token.Pos]*FuncInfo)
+	for _, info := range g.Funcs {
+		if info.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range info.Decl.Doc.List {
+			consumed[c.Pos()] = info
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					var prefix string
+					switch {
+					case strings.HasPrefix(c.Text, HotpathPrefix):
+						prefix = HotpathPrefix
+					case strings.HasPrefix(c.Text, ColdpathPrefix):
+						prefix = ColdpathPrefix
+					default:
+						continue
+					}
+					site := directiveSite{pos: c.Pos(), pkg: pkg, text: prefix}
+					rest := strings.TrimPrefix(c.Text, prefix)
+					if rest != "" && !strings.HasPrefix(rest, " ") {
+						// e.g. //nslint:hotpathx — not this directive at all;
+						// collectAllows reports it as unrecognized.
+						continue
+					}
+					if prefix == ColdpathPrefix && strings.TrimSpace(rest) == "" {
+						site.badForm = "coldpath directive needs a reason: //nslint:coldpath <reason>"
+					}
+					if info, ok := consumed[c.Pos()]; ok && site.badForm == "" {
+						site.consumed = true
+						if prefix == HotpathPrefix {
+							info.Hotpath = true
+						} else {
+							info.Coldpath = true
+						}
+					}
+					g.directives = append(g.directives, site)
+				}
+			}
+		}
+	}
+}
+
+// resolveInterfaceCall returns the module-declared concrete methods
+// that a call to interface method im can dispatch to.
+func (g *CallGraph) resolveInterfaceCall(im *types.Func, named []*types.Named) []*types.Func {
+	recv := im.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, n := range named {
+		if types.IsInterface(n) {
+			continue
+		}
+		var impl types.Type
+		switch {
+		case types.Implements(n, iface):
+			impl = n
+		case types.Implements(types.NewPointer(n), iface):
+			impl = types.NewPointer(n)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, im.Pkg(), im.Name())
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		m = origin(m)
+		if _, declared := g.Funcs[m]; declared {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Callees returns fn's resolved callees: static edges first, then the
+// interface-dispatch candidates. The slice is shared; do not mutate.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	info, ok := g.Funcs[origin(fn)]
+	if !ok {
+		return nil
+	}
+	if len(info.dynamic) == 0 {
+		return info.static
+	}
+	out := make([]*types.Func, 0, len(info.static)+len(info.dynamic))
+	out = append(out, info.static...)
+	out = append(out, info.dynamic...)
+	return out
+}
+
+// HotEntry is one function of the hotpath closure, with the edge that
+// pulled it in.
+type HotEntry struct {
+	Func *FuncInfo
+	// Root is the //nslint:hotpath declaration this function is
+	// reachable from; Via is its direct caller on the discovery path
+	// (nil for roots themselves).
+	Root *FuncInfo
+	Via  *FuncInfo
+}
+
+// HotClosure computes the transitive closure of the //nslint:hotpath
+// roots over static and interface-dispatch edges, stopping at
+// //nslint:coldpath boundaries. The result is in deterministic BFS
+// order (roots sorted by position).
+func (g *CallGraph) HotClosure() []HotEntry {
+	var roots []*FuncInfo
+	for _, info := range g.Funcs {
+		if info.Hotpath {
+			roots = append(roots, info)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+
+	var out []HotEntry
+	seen := make(map[*types.Func]bool)
+	for _, root := range roots {
+		if seen[root.Obj] {
+			continue
+		}
+		seen[root.Obj] = true
+		queue := []HotEntry{{Func: root, Root: root}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			out = append(out, cur)
+			for _, callee := range g.Callees(cur.Func.Obj) {
+				info, ok := g.Funcs[origin(callee)]
+				if !ok || seen[info.Obj] || info.Coldpath {
+					continue
+				}
+				seen[info.Obj] = true
+				queue = append(queue, HotEntry{Func: info, Root: cur.Root, Via: cur.Func})
+			}
+		}
+	}
+	return out
+}
+
+// Reaches computes the least fixed point of "fn directly satisfies seed,
+// or some callee reaches it" over the graph's static edges, returning
+// for each reaching function the callee through which it reaches. Used
+// for fact propagation (e.g. "may block").
+func (g *CallGraph) Reaches(seed func(*FuncInfo) bool) map[*types.Func]*types.Func {
+	out := make(map[*types.Func]*types.Func)
+	for obj, info := range g.Funcs {
+		if seed(info) {
+			out[obj] = nil // nil = satisfies the seed itself
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, info := range g.Funcs {
+			if _, ok := out[obj]; ok {
+				continue
+			}
+			for _, callee := range info.static {
+				callee = origin(callee)
+				if _, ok := out[callee]; ok {
+					if _, isModule := g.Funcs[callee]; isModule {
+						out[obj] = callee
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// origin canonicalizes an instantiated generic function or method to
+// its declaration object.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+// FullName renders the function in its diagnostic form, e.g.
+// netsample/internal/pipeline.(*Pipeline).read.
+func (fi *FuncInfo) FullName() string { return fi.Obj.FullName() }

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// graphSrc exercises static edges, interface dispatch, and the
+// hotpath/coldpath directives in one small package.
+const graphSrc = `package tmpcorpus
+
+type visitor interface {
+	visit(int)
+}
+
+type adder struct{ sum int }
+
+func (a *adder) visit(v int) { a.sum += v }
+
+type timer struct{ last int }
+
+func (t *timer) visit(v int) { t.last = v }
+
+//nslint:hotpath
+func root(xs []int, vs visitor) {
+	for _, x := range xs {
+		step(x, vs)
+	}
+}
+
+func step(x int, vs visitor) {
+	vs.visit(x)
+	cold()
+}
+
+//nslint:coldpath test: boundary below the hot loop
+func cold() {
+	leaf()
+}
+
+func leaf() {}
+`
+
+// closureNames returns the bare function names of a module's hot
+// closure.
+func closureNames(m *Module) []string {
+	var out []string
+	for _, e := range m.HotClosure() {
+		out = append(out, e.Func.Obj.Name())
+	}
+	return out
+}
+
+func TestHotClosure(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := writeTempPkg(t, loader, graphSrc)
+	m := NewModule([]*Package{pkg})
+	names := closureNames(m)
+
+	want := map[string]bool{"root": true, "step": true, "visit": true}
+	got := make(map[string]bool)
+	for _, n := range names {
+		got[n] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("closure is missing %s (got %v)", n, names)
+		}
+	}
+	// The closure must stop at the coldpath boundary: neither cold nor
+	// anything below it is in scope.
+	for _, n := range []string{"cold", "leaf"} {
+		if got[n] {
+			t.Errorf("closure crossed the coldpath boundary into %s (got %v)", n, names)
+		}
+	}
+	// Interface dispatch must have pulled in both implementations.
+	visits := 0
+	for _, n := range names {
+		if n == "visit" {
+			visits++
+		}
+	}
+	if visits != 2 {
+		t.Errorf("interface dispatch resolved %d visit implementations, want 2 (got %v)", visits, names)
+	}
+	// Root/Via bookkeeping: every non-root entry names its discovery
+	// path.
+	for _, e := range m.HotClosure() {
+		if e.Func.Obj.Name() == "root" {
+			if e.Via != nil {
+				t.Errorf("root has Via %v, want nil", e.Via.Obj.Name())
+			}
+			continue
+		}
+		if e.Root == nil || e.Root.Obj.Name() != "root" {
+			t.Errorf("%s: Root = %v, want root", e.Func.Obj.Name(), e.Root)
+		}
+		if e.Via == nil {
+			t.Errorf("%s: Via is nil for a non-root entry", e.Func.Obj.Name())
+		}
+	}
+}
+
+func TestColdpathNeedsReason(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := writeTempPkg(t, loader, `package tmpcorpus
+
+//nslint:coldpath
+func bare() {}
+`)
+	diags := Run([]*Package{pkg}, DefaultRules(loader.ModulePath))
+	found := false
+	for _, d := range diags {
+		if d.Rule == "nslint" && strings.Contains(d.Message, "coldpath directive needs a reason") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasonless coldpath directive was not reported; got %v", diags)
+	}
+}
+
+func TestMisplacedDirectiveIsReported(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := writeTempPkg(t, loader, `package tmpcorpus
+
+func host() {
+	//nslint:hotpath
+	_ = 1
+}
+`)
+	diags := Run([]*Package{pkg}, DefaultRules(loader.ModulePath))
+	found := false
+	for _, d := range diags {
+		if d.Rule == "nslint" && strings.Contains(d.Message, "misplaced") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("misplaced hotpath directive was not reported; got %v", diags)
+	}
+}
+
+// TestReaches pins the may-block fact propagation the mutexhold rule
+// rides on: the fact flows bottom-up through static calls only.
+func TestReaches(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := writeTempPkg(t, loader, `package tmpcorpus
+
+func blocker(ch chan int) { ch <- 1 }
+
+func mid(ch chan int) { blocker(ch) }
+
+func top(ch chan int) { mid(ch) }
+
+func clean() {}
+`)
+	m := NewModule([]*Package{pkg})
+	reaches := m.Graph.Reaches(func(fi *FuncInfo) bool {
+		return fi.Decl.Body != nil && hasDirectBlockingOp(fi.Pkg.Info, fi.Decl.Body)
+	})
+	byName := make(map[string]string)
+	for fn, via := range reaches {
+		if via == nil {
+			byName[fn.Name()] = "<self>"
+		} else {
+			byName[fn.Name()] = via.Name()
+		}
+	}
+	if byName["blocker"] != "<self>" {
+		t.Errorf("blocker: via = %q, want <self>", byName["blocker"])
+	}
+	if byName["mid"] != "blocker" {
+		t.Errorf("mid: via = %q, want blocker", byName["mid"])
+	}
+	if byName["top"] != "mid" {
+		t.Errorf("top: via = %q, want mid", byName["top"])
+	}
+	if _, ok := byName["clean"]; ok {
+		t.Errorf("clean unexpectedly reaches a blocking op")
+	}
+}

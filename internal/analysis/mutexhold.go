@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// mutexHoldRule reports blocking operations performed while a mutex is
+// held: channel sends and receives, select statements without a default,
+// time.Sleep, sync.WaitGroup.Wait, network I/O, and calls to module
+// functions that transitively reach any of those. A mutex protecting a
+// snapshot or serialization seam must bound a short critical section; a
+// blocking op inside it couples the lock's hold time to a peer, a timer,
+// or the scheduler, and one slow consumer stalls every other path that
+// takes the lock (the agent's serialize+reset section and the pipeline's
+// snapshot cut are exactly such seams).
+//
+// Lock regions are tracked lexically per function: a region opens at
+// X.Lock()/X.RLock() and closes at the next X.Unlock()/X.RUnlock() with
+// the same receiver expression; a deferred unlock holds to function end,
+// so everything after the Lock is in the region. The "may block" fact is
+// propagated bottom-up over the module call graph's static edges, so a
+// blocking op hidden two calls deep is still caught; diagnostics name
+// the callee chain's first hop.
+type mutexHoldRule struct {
+	modulePath string
+
+	once     sync.Once
+	mayBlock map[*types.Func]*types.Func // fn -> blocking callee (nil = blocks directly)
+}
+
+func (r *mutexHoldRule) Name() string { return "mutexhold" }
+func (r *mutexHoldRule) Doc() string {
+	return "no blocking operation while holding a mutex: no channel ops, select without default, time.Sleep, WaitGroup.Wait, network I/O, or calls that transitively block; long holds stall every contender"
+}
+
+// Check scans each function of pkg for lock regions and blocking ops
+// inside them.
+func (r *mutexHoldRule) Check(pass *Pass) {
+	pkg := pass.Pkg
+	if !inEnforcedTree(r.modulePath, pkg.Path) {
+		return
+	}
+	r.once.Do(func() {
+		r.mayBlock = pass.Module.Graph.Reaches(func(fi *FuncInfo) bool {
+			return fi.Decl.Body != nil && hasDirectBlockingOp(fi.Pkg.Info, fi.Decl.Body)
+		})
+	})
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			r.checkFunc(pass, fd)
+		}
+	}
+}
+
+// lockEvent is one Lock or Unlock call in a function, in source order.
+type lockEvent struct {
+	pos    token.Pos
+	recv   string // receiver expression, printed
+	unlock bool
+}
+
+// checkFunc builds the function's lexical lock regions and reports
+// blocking constructs inside them.
+func (r *mutexHoldRule) checkFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred unlock runs at return: it never closes the
+			// lexical region, so skip it (the region extends to the end
+			// of the function, which is exactly the hazard).
+			if isMutexCall(info, v.Call, "Unlock") || isMutexCall(info, v.Call, "RUnlock") {
+				return false
+			}
+		case *ast.CallExpr:
+			switch {
+			case isMutexCall(info, v, "Lock"), isMutexCall(info, v, "RLock"):
+				events = append(events, lockEvent{v.Pos(), recvString(fset, v), false})
+			case isMutexCall(info, v, "Unlock"), isMutexCall(info, v, "RUnlock"):
+				events = append(events, lockEvent{v.Pos(), recvString(fset, v), true})
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	held := func(pos token.Pos) bool {
+		// pos is inside a region if some receiver's last event before
+		// pos is a Lock.
+		last := make(map[string]bool)
+		for _, e := range events {
+			if e.pos >= pos {
+				break
+			}
+			last[e.recv] = !e.unlock
+		}
+		for _, locked := range last {
+			if locked {
+				return true
+			}
+		}
+		return false
+	}
+
+	forEachBlockingOp(info, fd.Body, func(pos token.Pos, what string) {
+		if held(pos) {
+			pass.Reportf(pos, "%s while holding a mutex; move it out of the critical section or hand off to a goroutine", what)
+		}
+	})
+
+	// Calls to module functions that transitively block.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := calleeObject(info, call).(*types.Func)
+		if !ok {
+			return true
+		}
+		fn = origin(fn)
+		if _, inModule := pass.Module.Graph.Funcs[fn]; !inModule {
+			return true
+		}
+		via, blocks := r.mayBlock[fn]
+		if !blocks || !held(call.Pos()) {
+			return true
+		}
+		if via == nil {
+			pass.Reportf(call.Pos(), "call to %s while holding a mutex: it performs a blocking operation", fn.Name())
+		} else {
+			pass.Reportf(call.Pos(), "call to %s while holding a mutex: it may block (via %s)", fn.Name(), via.Name())
+		}
+		return true
+	})
+}
+
+// forEachBlockingOp walks root reporting every direct blocking
+// construct. Func literals are skipped (their ops belong to whoever runs
+// them), and so are the comm clauses of a select that has a default —
+// those sends and receives are non-blocking polls; a select without a
+// default is itself reported, and clause bodies are walked either way.
+func forEachBlockingOp(info *types.Info, root ast.Node, report func(token.Pos, string)) {
+	var walk func(ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, clause := range v.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					report(v.Select, "select without a default")
+				}
+				for _, clause := range v.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							walk(st)
+						}
+					}
+				}
+				return false
+			default:
+				if pos, what := blockingOp(info, n); what != "" {
+					report(pos, what)
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+}
+
+// blockingOp classifies a single node as a direct blocking construct,
+// returning its position and a description (empty when not blocking).
+// Select statements are handled by forEachBlockingOp, which owns the
+// default-clause exemption.
+func blockingOp(info *types.Info, n ast.Node) (token.Pos, string) {
+	switch v := n.(type) {
+	case *ast.SendStmt:
+		return v.Arrow, "channel send"
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW {
+			return v.OpPos, "channel receive"
+		}
+	case *ast.RangeStmt:
+		if v.X != nil {
+			if t := info.Types[v.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					return v.For, "range over a channel"
+				}
+			}
+		}
+	case *ast.CallExpr:
+		fn, ok := calleeObject(info, v).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return token.NoPos, ""
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+			return v.Pos(), "time.Sleep"
+		case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+			return v.Pos(), "sync." + recvTypeName(fn) + "Wait"
+		case fn.Pkg().Path() == "net":
+			return v.Pos(), "network I/O (net." + recvTypeName(fn) + fn.Name() + ")"
+		}
+	}
+	return token.NoPos, ""
+}
+
+// hasDirectBlockingOp reports whether body contains a blocking construct
+// outside nested func literals.
+func hasDirectBlockingOp(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	forEachBlockingOp(info, body, func(token.Pos, string) { found = true })
+	return found
+}
+
+// isMutexCall reports whether call invokes name on a sync.Mutex or
+// sync.RWMutex receiver.
+func isMutexCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && (named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// recvString renders a method call's receiver expression (`p.mu` in
+// p.mu.Lock()) so Lock/Unlock pairs on the same expression match.
+func recvString(fset *token.FileSet, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, sel.X)
+	return buf.String()
+}
+
+// recvTypeName renders a method's receiver type for diagnostics, e.g.
+// "(*TCPConn)." — empty for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "."
+	}
+	return ""
+}

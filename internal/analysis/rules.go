@@ -7,7 +7,10 @@ import (
 )
 
 // DefaultRules returns the full netsample rule set for a module rooted
-// at modulePath (the module directive of go.mod, "netsample" here).
+// at modulePath (the module directive of go.mod, "netsample" here):
+// five determinism rules (PR 1) plus five concurrency/hot-path rules.
+// Rule instances carry per-run state (collected facts), so callers must
+// take a fresh set for every Run.
 func DefaultRules(modulePath string) []Rule {
 	return []Rule{
 		&noRandRule{modulePath},
@@ -15,6 +18,11 @@ func DefaultRules(modulePath string) []Rule {
 		&rngShareRule{modulePath},
 		&floatEqRule{},
 		&errDropRule{modulePath},
+		&atomicFieldRule{modulePath: modulePath},
+		&atomicAlignRule{modulePath: modulePath},
+		&hotAllocRule{modulePath: modulePath},
+		&waitStallRule{modulePath: modulePath},
+		&mutexHoldRule{modulePath: modulePath},
 	}
 }
 

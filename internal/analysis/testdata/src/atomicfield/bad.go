@@ -1,0 +1,30 @@
+// Package atomicfield is the nslint golden corpus for the atomicfield
+// rule: a field accessed via sync/atomic anywhere must be accessed
+// atomically everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+// ring mixes atomic and plain access on head; tail is plain-only and
+// fine.
+type ring struct {
+	head uint64
+	tail uint64
+}
+
+// produce advances head atomically, establishing the atomic contract.
+func produce(r *ring) {
+	atomic.AddUint64(&r.head, 1)
+}
+
+// observe reads head without the atomic op: the classic torn-read /
+// lost-wakeup seed.
+func observe(r *ring) uint64 {
+	return r.head // want `field head is accessed with sync/atomic elsewhere`
+}
+
+// reset writes head plainly, racing with produce.
+func reset(r *ring) {
+	r.head = 0 // want `field head is accessed with sync/atomic elsewhere`
+	r.tail = 0
+}

@@ -1,0 +1,31 @@
+package atomicfield
+
+import "sync/atomic"
+
+// typedRing uses the typed wrappers, which make mixed access impossible
+// by construction.
+type typedRing struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+func produceTyped(r *typedRing) {
+	r.head.Add(1)
+}
+
+func observeTyped(r *typedRing) uint64 {
+	return r.head.Load()
+}
+
+// counter is atomically accessed everywhere it is touched: clean.
+type counter struct {
+	n uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func read(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n)
+}

@@ -1,0 +1,70 @@
+// Package mutexhold is the nslint golden corpus for the mutexhold rule:
+// no blocking operation while a mutex is held.
+package mutexhold
+
+import (
+	"sync"
+	"time"
+)
+
+type agent struct {
+	mu  sync.Mutex
+	n   int
+	out chan int
+}
+
+// publish sends on a channel inside the critical section: one slow
+// consumer stalls every other path that takes mu.
+func (a *agent) publish() {
+	a.mu.Lock()
+	a.out <- a.n // want `channel send while holding a mutex`
+	a.mu.Unlock()
+}
+
+// pace sleeps under a deferred unlock: the lock is held for the whole
+// sleep.
+func (a *agent) pace() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding a mutex`
+	a.n++
+}
+
+// wait blocks on a select with no default while holding the lock.
+func (a *agent) wait(stop chan struct{}) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select { // want `select without a default while holding a mutex`
+	case <-stop:
+	case v := <-a.out:
+		a.n = v
+	}
+}
+
+// flush hides the blocking op one call deep: the may-block fact
+// propagates through the call graph.
+func (a *agent) flush() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drainOut() // want `call to drainOut while holding a mutex: it performs a blocking operation`
+}
+
+// relay hides it two calls deep.
+func (a *agent) relay() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.forward() // want `call to forward while holding a mutex: it may block \(via forwardOnce\)`
+}
+
+func (a *agent) forward() {
+	a.forwardOnce()
+}
+
+func (a *agent) forwardOnce() {
+	a.drainOut()
+}
+
+func (a *agent) drainOut() {
+	for range a.out {
+	}
+}

@@ -1,0 +1,56 @@
+package mutexhold
+
+import "sync"
+
+type gauge struct {
+	mu  sync.Mutex
+	n   int
+	out chan int
+}
+
+// bump keeps the critical section to the state update and publishes
+// after the unlock.
+func (g *gauge) bump() {
+	g.mu.Lock()
+	g.n++
+	v := g.n
+	g.mu.Unlock()
+	g.out <- v
+}
+
+// poll uses a select with a default under the lock: a non-blocking
+// probe, not a stall.
+func (g *gauge) poll() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.out:
+		g.n = v
+	default:
+	}
+	return g.n
+}
+
+// snapshot copies under the lock and hands the blocking send to a
+// goroutine that owns no lock. The literal's send belongs to the
+// goroutine, not to snapshot's critical section.
+func (g *gauge) snapshot(done chan<- int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := g.n
+	go func() {
+		done <- v
+	}()
+}
+
+// reader takes the lock, reads, unlocks, then drains: the blocking
+// range sits outside the region.
+func (g *gauge) reader() int {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	for w := range g.out {
+		v += w
+	}
+	return v
+}

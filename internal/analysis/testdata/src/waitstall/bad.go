@@ -1,0 +1,23 @@
+// Package waitstall is the nslint golden corpus for the waitstall rule:
+// every goroutine must be tied to a shutdown seam.
+package waitstall
+
+// leak launches a goroutine with no WaitGroup, no done channel, and no
+// completion signal: it outlives whatever spawned it.
+func leak(ch chan int) {
+	go func() { // want `goroutine is not tied to a shutdown seam`
+		for range ch {
+		}
+	}()
+}
+
+// drain never signals completion, so launching it by name is just as
+// much of a leak.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func leakNamed(ch chan int) {
+	go drain(ch) // want `goroutine is not tied to a shutdown seam`
+}

@@ -1,0 +1,49 @@
+package waitstall
+
+import "sync"
+
+// pooled is the worker-pool idiom: Add before launch, Wait at the end.
+func pooled(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// closer signals completion by closing the channel it feeds.
+func closer(ch chan int, n int) {
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// oneshot signals completion with a single send.
+func oneshot(done chan struct{}, work func()) {
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+}
+
+// emit's declaration closes its output channel, so launching it by name
+// is tied to the done-channel seam.
+func emit(ch chan int, n int) {
+	defer close(ch)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+}
+
+func launchEmit(n int) chan int {
+	ch := make(chan int, n)
+	go emit(ch, n)
+	return ch
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// waitStallRule reports fire-and-forget goroutines: a go statement in
+// the enforced tree must be visibly tied to a shutdown seam, or the
+// goroutine it launches can outlive the pipeline, collector, or daemon
+// it serves — leaking rings, sockets, and whole poll cycles on every
+// restart, and turning clean test exits into hangs.
+//
+// A launch is accepted when either
+//
+//   - the launching function calls sync.WaitGroup.Add before the go
+//     statement (the worker-pool idiom: Add, launch, Wait elsewhere), or
+//   - the goroutine's body — a func literal, or the module function the
+//     go statement calls — signals completion itself: it defers
+//     sync.WaitGroup.Done, closes a channel, or sends on one (the
+//     done-channel idiom).
+//
+// Anything else is a leak seed and is reported at the go statement.
+type waitStallRule struct {
+	modulePath string
+}
+
+func (r *waitStallRule) Name() string { return "waitstall" }
+func (r *waitStallRule) Doc() string {
+	return "goroutines must be tied to a shutdown seam: WaitGroup.Add before launch, or a body that defers Done, closes a channel, or sends on one; fire-and-forget goroutines leak"
+}
+
+// Check inspects every go statement in pkg.
+func (r *waitStallRule) Check(pass *Pass) {
+	pkg := pass.Pkg
+	if !inEnforcedTree(r.modulePath, pkg.Path) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			r.checkBody(pass, fd.Body)
+		}
+	}
+}
+
+// checkBody walks one function body, nested func literals included; an
+// Add anywhere lexically before the go statement in the same
+// declaration satisfies the Add-before-launch form.
+func (r *waitStallRule) checkBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var addPositions []ast.Node // WaitGroup.Add call sites in this body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSyncCall(info, call, "WaitGroup", "Add") {
+			addPositions = append(addPositions, call)
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, add := range addPositions {
+			if add.Pos() < g.Pos() {
+				return true // Add-before-launch: the pool owns the lifetime
+			}
+		}
+		if b := goroutineBody(pass, g.Call); b != nil && signalsCompletion(info, b) {
+			return true
+		}
+		pass.Reportf(g.Pos(), "goroutine is not tied to a shutdown seam: no WaitGroup.Add before launch, and its body neither defers Done, closes a channel, nor sends on one")
+		return true
+	})
+}
+
+// goroutineBody resolves the body the go statement will run: a func
+// literal's own body, or the declaration of a module function.
+func goroutineBody(pass *Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn, ok := calleeObject(pass.Pkg.Info, call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	if info, ok := pass.Module.Graph.Funcs[origin(fn)]; ok && info.Decl.Body != nil {
+		return info.Decl.Body
+	}
+	return nil
+}
+
+// signalsCompletion reports whether a goroutine body visibly signals its
+// own termination: defer WaitGroup.Done, close(ch) (plain or deferred),
+// or a channel send.
+func signalsCompletion(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if isSyncCall(info, v.Call, "WaitGroup", "Done") || isCloseCall(info, v.Call) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isSyncCall(info, v, "WaitGroup", "Done") || isCloseCall(info, v) {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.FuncLit:
+			return false // a nested goroutine's signals are its own
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncCall reports whether call invokes method name on sync.<recv>.
+func isSyncCall(info *types.Info, call *ast.CallExpr, recv, name string) bool {
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recv
+}
+
+// isCloseCall reports whether call is the close builtin.
+func isCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}

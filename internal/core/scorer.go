@@ -49,6 +49,8 @@ func (s *Scorer) Reset() {
 // observation to the target (the first packet of the interarrival
 // target) still count toward SampleSize, matching the legacy
 // Select+Score accounting where sample size was len(indices).
+//
+//nslint:hotpath
 func (s *Scorer) Visit(i int) {
 	s.selected++
 	if b := s.e.binIdx[i]; b != noObservation {

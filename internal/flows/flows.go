@@ -63,10 +63,12 @@ func (t *Table) Add(p trace.Packet) {
 	key := Key{Src: p.Src, Dst: p.Dst, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Protocol}
 	f, ok := t.active[key]
 	if ok && p.Time-f.LastUS > t.timeoutUS {
+		//nslint:allow hotalloc per-expiry, not per-packet: a flow closes once per idle timeout and the slice is recycled by Flush
 		t.closed = append(t.closed, *f)
 		ok = false
 	}
 	if !ok {
+		//nslint:allow hotalloc per-new-flow, not per-packet: steady-state traffic hits the update branch below (pinned by TestPipelineHotPathAllocs)
 		t.active[key] = &Flow{Key: key, Packets: 1, Bytes: int64(p.Size),
 			FirstUS: p.Time, LastUS: p.Time}
 		return

@@ -97,14 +97,18 @@ func (t *TopK) AddBytes(key []byte, weight uint64) {
 		return
 	}
 	if len(t.entries) < t.capacity {
+		//nslint:allow hotalloc fill branch: runs at most capacity times per window, then never again
 		e := &tkEntry{key: string(key), count: weight}
+		//nslint:allow hotalloc fill branch: bounded by capacity, not by packets
 		t.entries[e.key] = e
 		heap.Push(&t.h, e)
 		return
 	}
 	min := t.h[0]
 	delete(t.entries, min.key)
+	//nslint:allow hotalloc evict branch: one entry and one key copy per evicted counter, the sketch's amortized miss cost (hits are pinned alloc-free by TestAddBytesDoesNotAllocOnHit)
 	e := &tkEntry{key: string(key), count: min.count + weight, overcnt: min.count, heapIdx: 0}
+	//nslint:allow hotalloc evict branch: rewrites a deleted slot; the table never grows past capacity
 	t.entries[e.key] = e
 	t.h[0] = e
 	heap.Fix(&t.h, 0)

@@ -162,6 +162,8 @@ func shardIndex(pkt *trace.Packet, n int) int {
 // shard's sequence-ordered consume always makes progress: the head of
 // ring w is the worker's next message, and its sequence number proves
 // which earlier units produced nothing (or were dropped).
+//
+//nslint:hotpath
 func (p *Pipeline) ingestWorker(ig *ingestState) {
 	defer p.ingestWG.Done()
 	block := p.cfg.Policy == Block
@@ -183,6 +185,7 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 		buf := u.buf
 		for i := 0; i < u.n; i++ {
 			s := shardIndex(&buf.pkts[i], len(ig.out))
+			//nslint:allow hotalloc append into a cap-pinned recycled buffer: a unit holds at most BatchSize packets and every item buffer is made with that capacity, so this never grows
 			ig.cur[s] = append(ig.cur[s], item{
 				pkt:    buf.pkts[i],
 				gapUS:  buf.gaps[i],

@@ -352,6 +352,8 @@ func (p *Pipeline) Snapshots() []*Snapshot {
 // barriers, the gap stamps, and the unit sequence numbers. It runs on
 // the Run caller's goroutine. Everything downstream may be parallel
 // because everything order-sensitive is decided here.
+//
+//nslint:hotpath
 func (p *Pipeline) read(bs BatchSource) error {
 	var (
 		srcErr    error
@@ -370,6 +372,7 @@ func (p *Pipeline) read(bs BatchSource) error {
 		n, err := bs.NextBatch(cur.pkts[curN:p.cfg.BatchSize])
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
+				//nslint:allow hotalloc error path: one wrap at stream end, never per packet
 				srcErr = fmt.Errorf("pipeline: source: %w", err)
 			}
 			// Packets returned alongside the error are still delivered.
@@ -482,6 +485,8 @@ func (p *Pipeline) takeUnitAfter() *unitBuf {
 // of its shard rings and every shard observes the cut at the same
 // stream offset. Fragments are always delivered — overload may drop
 // data batches, never a cut.
+//
+//nslint:coldpath runs once per window boundary; its allocations amortize over the window's packets
 func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64) {
 	p.winSeq++
 	bar := &barrier{

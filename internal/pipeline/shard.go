@@ -96,9 +96,12 @@ func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, er
 // `next` without waiting on any other ring; a barrier completes after
 // one fragment from each live worker, cutting every shard at the same
 // stream position.
+//
+//nslint:hotpath
 func (p *Pipeline) shardWorker(st *shardState) {
 	defer p.shardWG.Done()
 	n := uint64(len(st.in))
+	//nslint:allow hotalloc one startup allocation per worker, before the packet loop
 	closed := make([]bool, n)
 	live := int(n)
 	var (
@@ -177,6 +180,8 @@ func (st *shardState) process(it *item) {
 // and resets them for the next window. The sampler is deliberately not
 // reset: its selection schedule continues across windows, exactly as a
 // batch sampler runs uninterrupted over the whole trace.
+//
+//nslint:coldpath runs once per window cut; its copies amortize over the window's packets
 func (st *shardState) cut() shardPart {
 	part := shardPart{
 		shard:       st.id,

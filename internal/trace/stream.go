@@ -59,6 +59,7 @@ func (s *StreamReader) Next() (Packet, error) {
 	}
 	var rec [recordLen]byte
 	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+		//nslint:allow hotalloc error path: a truncated stream wraps once and ends the run
 		return Packet{}, fmt.Errorf("%w: record %d: %v", ErrFormat, s.read, err)
 	}
 	s.read++
@@ -80,6 +81,7 @@ func (s *StreamReader) NextBatch(dst []Packet) (int, error) {
 		}
 		var rec [recordLen]byte
 		if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+			//nslint:allow hotalloc error path: a truncated stream wraps once and ends the run
 			return n, fmt.Errorf("%w: record %d: %v", ErrFormat, s.read, err)
 		}
 		s.read++

@@ -49,6 +49,8 @@ func newEnvelope(cfg EnvelopeConfig, r *dist.RNG) *envelope {
 }
 
 // ensure realizes the per-epoch weights for a trace of durUS microseconds.
+//
+//nslint:coldpath one-time lazy realization of the epoch weights, guarded by the e.weights != nil fast path
 func (e *envelope) ensure(durUS int64) {
 	if e.weights != nil {
 		return

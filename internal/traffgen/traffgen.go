@@ -220,6 +220,8 @@ func Generate(cfg Config) (*trace.Trace, error) {
 // returned, without allocating), and each model reuses one scratch flow
 // struct — a flow is fully drained before the next newFlow, so the
 // hot loop allocates nothing per flow.
+//
+//nslint:hotpath
 func appendFlows(events []event, m sourceModel, targetPackets float64, durUS int64,
 	env *envelope, addrs *addressPool, r *dist.RNG) []event {
 
@@ -236,6 +238,7 @@ func appendFlows(events []event, m sourceModel, targetPackets float64, durUS int
 			if t >= durUS {
 				break
 			}
+			//nslint:allow hotalloc appends into the pooled event buffer pre-sized to rate×duration×1.2; growth is the rare estimate miss, not a per-packet cost
 			events = append(events, event{timeUS: t, pkt: pkt})
 			emitted++
 			if !more || emitted >= targetPackets*1.02 {

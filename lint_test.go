@@ -1,37 +1,139 @@
 package netsample_test
 
 import (
+	"sync"
 	"testing"
 
 	"netsample/internal/analysis"
 )
 
-// TestLintModule is the tier-1 determinism gate: it runs the full nslint
-// rule set over every package of the module, so `go test ./...` fails
-// the moment a stdlib randomness import, a naked wall-clock read, a
-// shared RNG, an exact float comparison or a dropped module error is
-// introduced. Suppressions require an explicit
-// `//nslint:allow <rule> <reason>` at the finding site.
-func TestLintModule(t *testing.T) {
+// moduleLint loads and audits the whole module exactly once: the three
+// tier-1 lint tests below all need the same full type-checked load, and
+// sharing it keeps `go test .` at one sweep instead of three.
+var moduleLint struct {
+	once   sync.Once
+	err    error
+	loader *analysis.Loader
+	module *analysis.Module
+	diags  []analysis.Diagnostic
+	allows []analysis.AllowSite
+}
+
+// lintModule returns the shared module audit, loading on first use.
+func lintModule(t *testing.T) (*analysis.Loader, *analysis.Module, []analysis.Diagnostic, []analysis.AllowSite) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("lint sweep type-checks the whole module; skipped in -short mode")
 	}
-	loader, err := analysis.NewLoader(".")
-	if err != nil {
-		t.Fatalf("loader: %v", err)
+	m := &moduleLint
+	m.once.Do(func() {
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			m.err = err
+			return
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			m.err = err
+			return
+		}
+		m.loader = loader
+		m.module = analysis.NewModule(pkgs)
+		m.diags, m.allows = m.module.RunAudit(analysis.DefaultRules(loader.ModulePath))
+	})
+	if m.err != nil {
+		t.Fatalf("module lint load: %v", m.err)
 	}
-	pkgs, err := loader.Load("./...")
-	if err != nil {
-		t.Fatalf("load: %v", err)
-	}
-	if len(pkgs) == 0 {
+	if len(m.module.Pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
-	diags := analysis.Run(pkgs, analysis.DefaultRules(loader.ModulePath))
+	return m.loader, m.module, m.diags, m.allows
+}
+
+// TestLintModule is the tier-1 invariant gate: it runs the full nslint
+// rule set over every package of the module, so `go test ./...` fails
+// the moment a stdlib randomness import, a naked wall-clock read, a
+// shared RNG, an exact float comparison, a dropped module error, a
+// mixed atomic/plain field access, a misaligned 64-bit atomic, an
+// unjoined goroutine, a blocking call under a mutex, or an allocation
+// on the //nslint:hotpath closure is introduced. Suppressions require
+// an explicit `//nslint:allow <rule> <reason>` at the finding site.
+func TestLintModule(t *testing.T) {
+	_, _, diags, _ := lintModule(t)
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
 		t.Logf("fix the findings or annotate intentional sites with `//nslint:allow <rule> <reason>`")
+	}
+}
+
+// TestAllowHygiene audits every //nslint:allow annotation in the
+// module: each must name a rule that exists, carry a reason, and
+// actually suppress a finding in this run. A stale allow — left behind
+// after the code it excused was fixed or deleted — is itself a failure,
+// so suppressions can never silently outlive their justification.
+// (Missing reasons and unknown directive syntax are already findings of
+// the unsuppressible "nslint" pseudo-rule, so TestLintModule catches
+// those; this test closes the remaining gaps.)
+func TestAllowHygiene(t *testing.T) {
+	loader, _, _, allows := lintModule(t)
+	known := make(map[string]bool)
+	for _, r := range analysis.DefaultRules(loader.ModulePath) {
+		known[r.Name()] = true
+	}
+	if len(allows) == 0 {
+		t.Fatal("no allow annotations found; the module is known to carry justified suppressions")
+	}
+	for _, a := range allows {
+		if !known[a.Rule] {
+			t.Errorf("%s:%d: allow names unknown rule %q", a.File, a.Line, a.Rule)
+		}
+		if a.Reason == "" {
+			t.Errorf("%s:%d: allow for %q has no reason", a.File, a.Line, a.Rule)
+		}
+		if !a.Used {
+			t.Errorf("%s:%d: stale allow: no %q finding on this line to suppress — delete it or fix the drift",
+				a.File, a.Line, a.Rule)
+		}
+	}
+}
+
+// TestHotClosureCoversAllocPinnedPaths cross-checks the static hotalloc
+// contract against the dynamic allocation-budget tests: every function
+// on the per-packet path that TestPipelineHotPathAllocs exercises, and
+// the per-flow generator loop that TestGenerateAllocs exercises, must
+// be inside the //nslint:hotpath transitive closure. If a refactor
+// reroutes the hot loop around the annotated roots, the closure loses
+// the function and this test fails before the allocation regresses.
+func TestHotClosureCoversAllocPinnedPaths(t *testing.T) {
+	loader, module, _, _ := lintModule(t)
+	mp := loader.ModulePath
+	wanted := []string{
+		// TestPipelineHotPathAllocs: read → ingest → shard → sample,
+		// per packet.
+		"(*" + mp + "/internal/pipeline.Pipeline).read",
+		"(*" + mp + "/internal/pipeline.Pipeline).ingestWorker",
+		"(*" + mp + "/internal/pipeline.Pipeline).shardWorker",
+		"(*" + mp + "/internal/pipeline.shardState).process",
+		mp + "/internal/pipeline.shardIndex",
+		"(*" + mp + "/internal/flows.Table).Add",
+		"(*" + mp + "/internal/nnstat.TopK).AddBytes",
+		"(*" + mp + "/internal/online.Systematic).Offer",
+		"(*" + mp + "/internal/online.Stratified).Offer",
+		"(*" + mp + "/internal/bins.Edged).Index",
+		// TestGenerateAllocs: the generator's per-flow/per-packet loop.
+		mp + "/internal/traffgen.appendFlows",
+		// TestReplicationScoringZeroAllocs: the fused scoring visit.
+		"(*" + mp + "/internal/core.Scorer).Visit",
+	}
+	in := make(map[string]bool)
+	for _, e := range module.HotClosure() {
+		in[e.Func.FullName()] = true
+	}
+	for _, name := range wanted {
+		if !in[name] {
+			t.Errorf("alloc-pinned function %s is not in the //nslint:hotpath closure", name)
+		}
 	}
 }
