@@ -11,6 +11,8 @@ package netsample
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -919,70 +921,140 @@ func BenchmarkSelectByGranularity(b *testing.B) {
 	}
 }
 
-// loopSource cycles a real trace's packets with rebased monotonic
-// timestamps, yielding exactly n packets — an endless-stream stand-in
-// that costs nothing per packet beyond the slice read.
-type loopSource struct {
-	packets []trace.Packet
-	n       int
-	pos     int
-	i       int
-	baseUS  int64
-	shiftUS int64
-	spanUS  int64
+// writeBenchTrace serializes tr to a temp NSTR file for the mmap
+// benchmarks and returns the path.
+func writeBenchTrace(b *testing.B, tr *trace.Trace) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.nstr")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path
 }
 
-func newLoopSource(tr *trace.Trace, n int) *loopSource {
-	span := tr.Packets[len(tr.Packets)-1].Time - tr.Packets[0].Time + 1000
-	return &loopSource{packets: tr.Packets, n: n, spanUS: span}
+// BenchmarkDecodeBatch measures the fused raw ingest kernel — decode +
+// shard hash + gap stamp over a whole window of NSTR records in one
+// pass. One op = one record.
+func BenchmarkDecodeBatch(b *testing.B) {
+	tr := benchSmall(b)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()[trace.HeaderLen:]
+	nrec := len(raw) / trace.RecordLen
+	const batch = 256
+	pkts := make([]trace.Packet, batch)
+	shards := make([]uint8, batch)
+	gaps := make([]int64, batch)
+	b.SetBytes(trace.RecordLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	pos, prev := 0, int64(0)
+	for done := 0; done < b.N; {
+		n := batch
+		if left := nrec - pos; left < n {
+			if left == 0 {
+				pos, prev = 0, 0
+				continue
+			}
+			n = left
+		}
+		k := pipeline.DecodeBatch(pkts[:n], shards[:n], gaps[:n],
+			raw[pos*trace.RecordLen:(pos+n)*trace.RecordLen], prev, 4)
+		prev = pkts[k-1].Time
+		pos += k
+		done += k
+	}
 }
 
-func (l *loopSource) Next() (trace.Packet, error) {
-	if l.pos >= l.n {
+// BenchmarkMapReaderThroughput measures the zero-copy reader end to
+// end: raw windows handed out of the mapped region and decoded from the
+// view in one DecodeRecords pass. One op = one record.
+func BenchmarkMapReaderThroughput(b *testing.B) {
+	tr := benchSmall(b)
+	path := writeBenchTrace(b, tr)
+	mr, err := trace.OpenMap(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mr.Close()
+	dst := make([]trace.Packet, 512)
+	b.SetBytes(trace.RecordLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n, err := mr.NextBatch(dst)
+		if err == io.EOF {
+			mr.Rewind()
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+}
+
+// mapLoop cycles an mmap'd trace, yielding exactly n records — the
+// zero-copy analogue of an endless capture stream. Its raw windows
+// alias the mapping, which stays valid until Close, so it satisfies
+// pipeline.RawBatchSource even across Rewind laps.
+type mapLoop struct {
+	mr  *trace.MapReader
+	n   int
+	pos int
+}
+
+func (m *mapLoop) Next() (trace.Packet, error) {
+	if m.pos >= m.n {
 		return trace.Packet{}, io.EOF
 	}
-	l.pos++
-	p := l.packets[l.i]
-	l.i++
-	if l.i == len(l.packets) {
-		l.i = 0
-		l.shiftUS += l.spanUS
+	p, err := m.mr.Next()
+	if err == io.EOF {
+		m.mr.Rewind()
+		p, err = m.mr.Next()
 	}
-	p.Time += l.shiftUS
+	if err != nil {
+		return trace.Packet{}, err
+	}
+	m.pos++
 	return p, nil
 }
 
-// NextBatch is the amortized form the pipeline's reader prefers: it
-// cycles whole runs of the backing trace into dst.
-func (l *loopSource) NextBatch(dst []trace.Packet) (int, error) {
-	if l.pos >= l.n {
-		return 0, io.EOF
+func (m *mapLoop) NextRawBatch(max int) ([]byte, int, error) {
+	if m.pos >= m.n {
+		return nil, 0, io.EOF
 	}
-	n := len(dst)
-	if left := l.n - l.pos; left < n {
-		n = left
+	if left := m.n - m.pos; left < max {
+		max = left
 	}
-	for k := 0; k < n; k++ {
-		p := l.packets[l.i]
-		l.i++
-		if l.i == len(l.packets) {
-			l.i = 0
-			l.shiftUS += l.spanUS
-		}
-		p.Time += l.shiftUS
-		dst[k] = p
+	raw, k, err := m.mr.NextRawBatch(max)
+	if err == io.EOF {
+		m.mr.Rewind()
+		raw, k, err = m.mr.NextRawBatch(max)
 	}
-	l.pos += n
-	return n, nil
+	if err != nil {
+		return nil, 0, err
+	}
+	m.pos += k
+	return raw, k, nil
 }
 
 // BenchmarkPipelineThroughput measures the streaming pipeline's
 // end-to-end packet rate (ingest → shard → sample → aggregate) by shard
-// count, with one benchmark op = one packet. The ingest runs on the
-// benchmark goroutine; allocs/op near zero is the hot-path guarantee
-// (pinned exactly by TestPipelineHotPathAllocs).
+// count, with one benchmark op = one packet. The pipeline is fed
+// through the zero-copy raw path: an mmap'd trace cycled by mapLoop,
+// decoded inside the parallel ingest workers. The reader goroutine only
+// peeks timestamps; allocs/op near zero is the hot-path guarantee
+// (pinned exactly by TestMapReaderHotPathAllocs).
 func BenchmarkPipelineThroughput(b *testing.B) {
 	tr := benchSmall(b)
+	path := writeBenchTrace(b, tr)
 	for _, shards := range []int{1, 2, 4} {
 		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
 			p, err := pipeline.New(pipeline.Config{
@@ -1000,7 +1072,12 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			src := newLoopSource(tr, b.N)
+			mr, err := trace.OpenMap(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mr.Close()
+			src := &mapLoop{mr: mr, n: b.N}
 			b.ReportAllocs()
 			b.ResetTimer()
 			if err := p.Run(src); err != nil {

@@ -107,7 +107,7 @@ func main() {
 	if (*in == "") == !*gen {
 		log.Fatal("exactly one of -in or -gen is required")
 	}
-	tr, err := loadTrace(*in, *gen, *seconds, *pps, *seed)
+	tr, src, closeSrc, err := loadSource(*in, *gen, *seconds, *pps, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -151,8 +151,13 @@ func main() {
 		close(stopped)
 	}()
 
-	if err := p.Run(tr.Replay()); err != nil {
+	if err := p.Run(src); err != nil {
 		log.Fatalf("pipeline: %v", err)
+	}
+	// The mapping outlives Run (workers hold views into it until the
+	// pipeline drains); release it only once the run is over.
+	if err := closeSrc(); err != nil {
+		log.Printf("close input: %v", err)
 	}
 	if final, ok := p.Latest(); ok && *quiet {
 		fmt.Println(summarize(final))
@@ -177,22 +182,38 @@ func main() {
 	}
 }
 
-// loadTrace reads or generates the daemon's input, which doubles as the
-// reference population for snapshot scoring.
-func loadTrace(in string, gen bool, seconds int, pps float64, seed uint64) (*trace.Trace, error) {
+// loadSource opens the daemon's input: the reference population trace
+// (which snapshot scoring needs in memory) plus the pipeline source to
+// stream, plus a release to call once Run returns. A file input is
+// memory-mapped: the pipeline ingests raw record windows straight out
+// of the page cache (the zero-copy path, DESIGN.md §13) while the
+// reference trace is materialized once from the same mapping.
+// Generated input replays from memory and its release is a no-op.
+func loadSource(in string, gen bool, seconds int, pps float64, seed uint64) (*trace.Trace, pipeline.Source, func() error, error) {
 	if gen {
 		cfg := traffgen.NSFNETHour()
 		cfg.Seed = seed
 		cfg.Duration = time.Duration(seconds) * time.Second
 		cfg.TargetPPS = pps
-		return traffgen.Generate(cfg)
+		tr, err := traffgen.Generate(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return tr, tr.Replay(), func() error { return nil }, nil
 	}
-	f, err := os.Open(in)
+	mr, err := trace.OpenMap(in)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	defer f.Close()
-	return trace.Read(f)
+	tr, err := mr.Trace()
+	if err != nil {
+		// The format error is the one to report; an unmap failure on the
+		// abandoned mapping has no caller-visible effect.
+		//nslint:allow errdrop trace materialization failed; the munmap error would mask the real cause
+		mr.Close()
+		return nil, nil, nil, err
+	}
+	return tr, mr, mr.Close, nil
 }
 
 // buildConfig assembles the pipeline configuration: per-shard samplers

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -207,7 +208,12 @@ func (l *Loader) modulePackageDirs() (map[string]string, error) {
 	return out, err
 }
 
-// goSources lists the non-test .go files of dir.
+// goSources lists the non-test .go files of dir that build on the
+// current platform: build-constrained files (//go:build lines and
+// filename-implied GOOS/GOARCH suffixes like _linux.go) are filtered
+// through go/build's default context, exactly as the go tool selects
+// them — otherwise a platform pair such as mmap_linux.go and
+// mmap_fallback.go would type-check as a redeclaration.
 func goSources(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -218,6 +224,13 @@ func goSources(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: match %s: %w", filepath.Join(dir, name), err)
+		}
+		if !match {
 			continue
 		}
 		out = append(out, filepath.Join(dir, name))

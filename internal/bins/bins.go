@@ -79,6 +79,74 @@ func (e *Edged) Index(x float64) int {
 	return i
 }
 
+// IndexLinear returns Index(x) via a branch-free linear scan of the
+// interior edges: the bin index equals the number of edges ≤ x, so a
+// compare-accumulate over the (few, cache-resident) edges beats the
+// binary search for the paper's 2- and 4-edge schemes. The comparison
+// is written !(x < edge) rather than x >= edge so a NaN observation
+// accumulates every edge and lands in the last bin, exactly where
+// Index's SearchFloat64s puts it — the two are bit-identical for every
+// input.
+//
+//nslint:hotpath
+func (e *Edged) IndexLinear(x float64) int {
+	b := 0
+	for _, edge := range e.edges {
+		if !(x < edge) {
+			b++
+		}
+	}
+	return b
+}
+
+// IndexBatch fills dst[i] with Index(xs[i]) for the whole batch in one
+// branchless pass — the compare-accumulate of IndexLinear with the edge
+// loads hoisted out of the per-observation loop for the paper's two
+// schemes. Bin indices are uint8, so the scheme must have at most 256
+// bins (every scheme the evaluator accepts does; see core.ErrTooManyBins).
+// len(dst) must be at least len(xs).
+//
+//nslint:hotpath
+func (e *Edged) IndexBatch(dst []uint8, xs []float64) {
+	dst = dst[:len(xs)]
+	switch len(e.edges) {
+	case 2: // PacketSize
+		e0, e1 := e.edges[0], e.edges[1]
+		for i, x := range xs {
+			b := uint8(0)
+			if !(x < e0) {
+				b++
+			}
+			if !(x < e1) {
+				b++
+			}
+			dst[i] = b
+		}
+	case 4: // Interarrival
+		e0, e1, e2, e3 := e.edges[0], e.edges[1], e.edges[2], e.edges[3]
+		for i, x := range xs {
+			b := uint8(0)
+			if !(x < e0) {
+				b++
+			}
+			if !(x < e1) {
+				b++
+			}
+			if !(x < e2) {
+				b++
+			}
+			if !(x < e3) {
+				b++
+			}
+			dst[i] = b
+		}
+	default:
+		for i, x := range xs {
+			dst[i] = uint8(e.IndexLinear(x))
+		}
+	}
+}
+
 // Label implements Scheme.
 func (e *Edged) Label(i int) string { return e.labels[i] }
 

@@ -1,6 +1,7 @@
 package bins
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -130,5 +131,57 @@ func TestProportions(t *testing.T) {
 	p := Proportions(PacketSize(), []float64{40, 40, 552, 100})
 	if p[0] != 0.5 || p[1] != 0.25 || p[2] != 0.25 {
 		t.Errorf("proportions = %v", p)
+	}
+}
+
+// TestIndexKernelsBitIdentical proves the branchless kernels agree with
+// the binary-search Index on every input class: random values, exact
+// edge ties (which belong to the bin above), values straddling each
+// edge, and the non-finite specials — including NaN, which both paths
+// deliberately place in the last bin.
+func TestIndexKernelsBitIdentical(t *testing.T) {
+	schemes := []*Edged{PacketSize(), Interarrival()}
+	if e, err := NewEdged("odd", []float64{-3, 0, 1.5, 7, 7.25, 1e9}); err != nil {
+		t.Fatal(err)
+	} else {
+		schemes = append(schemes, e)
+	}
+	for _, e := range schemes {
+		var xs []float64
+		for _, edge := range e.Edges() {
+			xs = append(xs, edge, edge-1, edge+1,
+				math.Nextafter(edge, math.Inf(-1)), math.Nextafter(edge, math.Inf(1)))
+		}
+		xs = append(xs, math.Inf(-1), math.Inf(1), math.NaN(), 0, -0.0)
+		r := dist.NewRNG(42)
+		for i := 0; i < 4096; i++ {
+			xs = append(xs, (r.Float64()-0.5)*5000)
+		}
+		dst := make([]uint8, len(xs))
+		e.IndexBatch(dst, xs)
+		for i, x := range xs {
+			want := e.Index(x)
+			if got := e.IndexLinear(x); got != want {
+				t.Fatalf("%s: IndexLinear(%v) = %d, Index = %d", e.Name(), x, got, want)
+			}
+			if int(dst[i]) != want {
+				t.Fatalf("%s: IndexBatch(%v) = %d, Index = %d", e.Name(), x, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestIndexBatchShortDst pins the length contract: the batch is sized
+// by xs, and dst only needs that many elements.
+func TestIndexBatchShortDst(t *testing.T) {
+	e := PacketSize()
+	dst := make([]uint8, 8)
+	dst[3] = 0xAA
+	e.IndexBatch(dst, []float64{10, 100, 1000})
+	if dst[0] != 0 || dst[1] != 1 || dst[2] != 2 {
+		t.Fatalf("batch = %v", dst[:3])
+	}
+	if dst[3] != 0xAA {
+		t.Fatal("IndexBatch wrote past len(xs)")
 	}
 }

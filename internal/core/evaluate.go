@@ -70,23 +70,45 @@ func NewEvaluator(pop *trace.Trace, target Target, scheme bins.Scheme) (*Evaluat
 		popProps:  make([]float64, nb),
 		binIdx:    make([]uint8, n),
 	}
-	// One pass over the packets classifies every observation and tallies
-	// the population counts, without materializing the observation slice.
+	// Classification runs in fixed-size batches through BinIndexBatch:
+	// a chunk of observations is extracted into a scratch vector, binned
+	// branchlessly in one pass (the Edged fast path), and tallied into
+	// the population counts. Identical indices to the historical
+	// per-packet scheme.Index loop — IndexBatch is bit-identical to
+	// Index — without the per-observation interface call.
+	const chunk = 512
+	var xs [chunk]float64
 	switch target {
 	case TargetInterarrival:
 		if n > 0 {
 			e.binIdx[0] = noObservation
 		}
-		for i := 1; i < n; i++ {
-			b := scheme.Index(float64(pop.Packets[i].Time - pop.Packets[i-1].Time))
-			e.binIdx[i] = uint8(b)
-			e.popCounts[b]++
+		for lo := 1; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				xs[i-lo] = float64(pop.Packets[i].Time - pop.Packets[i-1].Time)
+			}
+			e.BinIndexBatch(e.binIdx[lo:hi], xs[:hi-lo])
+			for _, b := range e.binIdx[lo:hi] {
+				e.popCounts[b]++
+			}
 		}
 	default:
-		for i := 0; i < n; i++ {
-			b := scheme.Index(float64(pop.Packets[i].Size))
-			e.binIdx[i] = uint8(b)
-			e.popCounts[b]++
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				xs[i-lo] = float64(pop.Packets[i].Size)
+			}
+			e.BinIndexBatch(e.binIdx[lo:hi], xs[:hi-lo])
+			for _, b := range e.binIdx[lo:hi] {
+				e.popCounts[b]++
+			}
 		}
 	}
 	for _, c := range e.popCounts {
@@ -106,6 +128,28 @@ func NewEvaluator(pop *trace.Trace, target Target, scheme bins.Scheme) (*Evaluat
 	}
 	e.scorers.New = func() any { return e.NewScorer() }
 	return e, nil
+}
+
+// BinIndexBatch fills dst[i] with the scheme's bin index for
+// observation xs[i], for the whole batch in one pass. For the paper's
+// *bins.Edged schemes this dispatches to the branchless
+// compare-accumulate kernel; any other Scheme falls back to per-value
+// Index calls with identical results. len(dst) must be at least
+// len(xs). The indices fit uint8 by the evaluator's 255-bin
+// construction cap, so batch consumers (NewEvaluator's classification
+// pass, the pipeline's per-shard scoring tables) index count vectors
+// straight from dst.
+//
+//nslint:hotpath
+func (e *Evaluator) BinIndexBatch(dst []uint8, xs []float64) {
+	if ed, ok := e.scheme.(*bins.Edged); ok {
+		ed.IndexBatch(dst, xs)
+		return
+	}
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[i] = uint8(e.scheme.Index(x))
+	}
 }
 
 // Population returns the trace the evaluator was built over.

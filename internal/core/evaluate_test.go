@@ -282,3 +282,64 @@ func reportWithPhi(phi float64) (r metrics.Report) {
 	r.Phi = phi
 	return
 }
+
+// wrapScheme hides the concrete *bins.Edged so BinIndexBatch exercises
+// its generic per-value fallback.
+type wrapScheme struct{ bins.Scheme }
+
+// TestBinIndexBatchMatchesScheme checks the batched bin-index kernel on
+// both dispatch arms — the Edged fast path and the generic fallback —
+// against per-value Scheme.Index, and checks NewEvaluator's batched
+// classification produces the same bin-index table and population
+// counts as a direct per-packet loop.
+func TestBinIndexBatchMatchesScheme(t *testing.T) {
+	tr := genTrace(t, 23)
+	for _, target := range []Target{TargetSize, TargetInterarrival} {
+		scheme := bins.Scheme(bins.PacketSize())
+		if target == TargetInterarrival {
+			scheme = bins.Interarrival()
+		}
+		evFast, err := NewEvaluator(tr, target, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evSlow, err := NewEvaluator(tr, target, wrapScheme{scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both dispatch arms agree with per-value Index on a mixed batch.
+		xs := []float64{0, 39, 41, 180, 181, 799, 800, 1200, 3600, 1e7, math.NaN()}
+		fast := make([]uint8, len(xs))
+		slow := make([]uint8, len(xs))
+		evFast.BinIndexBatch(fast, xs)
+		evSlow.BinIndexBatch(slow, xs)
+		for i, x := range xs {
+			if want := uint8(scheme.Index(x)); fast[i] != want || slow[i] != want {
+				t.Fatalf("target %v: x=%v fast=%d slow=%d want=%d", target, x, fast[i], slow[i], want)
+			}
+		}
+		// The two evaluators were built from the same observations, so the
+		// whole classification state must match.
+		if !floatsEqual(evFast.popCounts, evSlow.popCounts) {
+			t.Fatalf("target %v: popCounts diverge: %v vs %v", target, evFast.popCounts, evSlow.popCounts)
+		}
+		for i := range evFast.binIdx {
+			if evFast.binIdx[i] != evSlow.binIdx[i] {
+				t.Fatalf("target %v: binIdx[%d] = %d vs %d", target, i, evFast.binIdx[i], evSlow.binIdx[i])
+			}
+		}
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//nslint:allow floateq exact integer-valued counts, not computed quantities
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

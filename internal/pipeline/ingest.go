@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"encoding/binary"
 	"sync/atomic"
 
+	"netsample/internal/packet"
 	"netsample/internal/trace"
 )
 
@@ -15,6 +17,27 @@ import (
 // implement it natively.
 type BatchSource interface {
 	NextBatch(dst []trace.Packet) (int, error)
+}
+
+// RawBatchSource is the zero-copy form of BatchSource: instead of
+// filling a caller buffer with decoded packets, it hands out windows of
+// raw NSTR record bytes (length a multiple of trace.RecordLen) for up
+// to max records, plus the record count. Decoding then happens inside
+// the parallel ingest workers — fused with shard hashing and gap
+// stamping in one DecodeBatch pass — rather than on the sequential
+// reader goroutine.
+//
+// Contract: records in a window are consecutive stream records;
+// complete records precede any error; exhaustion is (nil, 0, io.EOF).
+// Every returned window must remain valid and immutable until the
+// pipeline's Run returns — workers hold windows from many calls
+// concurrently. *trace.MapReader satisfies this by construction (its
+// views alias the mapped region until Close); a reader recycling one
+// scratch buffer per call must NOT implement this interface. Run
+// prefers it over BatchSource when the shard count fits the raw path
+// (at most 256 shards).
+type RawBatchSource interface {
+	NextRawBatch(max int) ([]byte, int, error)
 }
 
 // AsBatch adapts a per-packet Source to BatchSource. If src already
@@ -64,16 +87,28 @@ type unitBuf struct {
 }
 
 // srcUnit is one sequence-numbered element of the reader→ingest stream:
-// either a data batch (buf, n) or a window-barrier fragment (bar). The
-// sequence numbers are dense and global — unit q goes to ingest worker
-// q mod N, and a barrier consumes exactly N consecutive numbers (one
-// fragment per worker) — so the round-robin phase is position-invariant
-// and every shard can reconstruct global stream order from its rings.
+// a decoded data batch (buf, n), a raw record window (raw, n, prevUS),
+// or a window-barrier fragment (bar). The sequence numbers are dense
+// and global — unit q goes to ingest worker q mod N, and a barrier
+// consumes exactly N consecutive numbers (one fragment per worker) — so
+// the round-robin phase is position-invariant and every shard can
+// reconstruct global stream order from its rings.
+//
+// Raw units carry no unitBuf: the window aliases the source's mapped
+// region (stable until Run returns, per RawBatchSource), so the only
+// backpressure bound they need is the in ring itself. prevUS is the
+// timestamp of the stream packet preceding the window's first record,
+// which lets the worker compute interarrival gaps locally; noGap0 marks
+// the unit opening the stream, whose first packet has no predecessor.
 type srcUnit struct {
 	seq uint64
 	buf *unitBuf
 	n   int
 	bar *barrier
+
+	raw    []byte
+	prevUS int64
+	noGap0 bool
 }
 
 // ingestState is one parallel ingest worker: it consumes its share of
@@ -127,32 +162,129 @@ func newIngestState(id int, cfg *Config) *ingestState {
 	return ig
 }
 
-// shardIndex assigns a packet to one of n shards by an FNV-1a hash of
-// its 5-tuple (addresses, ports little-endian, protocol), so a flow's
-// packets always land on one shard.
+// partitionRaw is DecodeBatch fused with the partition stage: one pass
+// over a raw record window that decodes each packet from three 8-byte
+// words, derives its shard from the same registers (bit-identical to
+// shardIndex — the hash words re-pack the record's bytes 12-23 and 10,
+// see DecodeBatch for the layout), stamps its interarrival gap, and
+// appends the finished item straight into the per-shard batch. The
+// two-pass form (DecodeBatch into worker scratch, then partition)
+// writes and re-reads every packet once more; fusing keeps the record
+// in registers between decode and item store. Equivalence with the
+// decoded path is pinned end to end by the source-equivalence and
+// raw-determinism pipeline tests.
+//
+//nslint:hotpath
+func (ig *ingestState) partitionRaw(u srcUnit) {
+	nshards := uint32(len(ig.out))
+	prev := u.prevUS
+	raw := u.raw
+	n := len(raw) / trace.RecordLen
+	for i := 0; i < n; i++ {
+		rec := raw[i*trace.RecordLen : i*trace.RecordLen+trace.RecordLen]
+		w0 := binary.LittleEndian.Uint64(rec[0:8])
+		w1 := binary.LittleEndian.Uint64(rec[8:16])
+		w2 := binary.LittleEndian.Uint64(rec[16:24])
+		var s uint32
+		if nshards > 1 {
+			s = tupleHash(w1>>32|w2<<32, w2>>32|uint64(uint8(w1>>16))<<32) % nshards
+		}
+		t := int64(w0)
+		//nslint:allow hotalloc append into a cap-pinned recycled buffer: a unit holds at most BatchSize packets and every item buffer is made with that capacity, so this never grows
+		ig.cur[s] = append(ig.cur[s], item{
+			pkt: trace.Packet{
+				Time:     t,
+				Size:     uint16(w1),
+				Protocol: packet.Protocol(w1 >> 16),
+				TCPFlags: uint8(w1 >> 24),
+				Src:      packet.Addr{byte(w1 >> 32), byte(w1 >> 40), byte(w1 >> 48), byte(w1 >> 56)},
+				Dst:      packet.Addr{byte(w2), byte(w2 >> 8), byte(w2 >> 16), byte(w2 >> 24)},
+				SrcPort:  uint16(w2 >> 32),
+				DstPort:  uint16(w2 >> 48),
+			},
+			gapUS:  t - prev,
+			hasGap: i > 0 || !u.noGap0,
+		})
+		prev = t
+	}
+}
+
+// DecodeBatch is the fused raw-path kernel: it decodes a window of raw
+// NSTR record bytes into dst and, in the same batched pass, fills
+// shards[i] with each packet's 5-tuple shard index (identical
+// bit-for-bit to shardIndex — the two tupleHash words are loaded
+// straight out of the record's wire layout, which packs the tuple in
+// exactly shardIndex's byte order) and gaps[i] with its interarrival
+// gap, chaining from prevUS, the timestamp of the record preceding the
+// window. It returns the record count, min(len(dst),
+// len(raw)/trace.RecordLen). nshards must be in [1, 256] so the
+// indices fit uint8; shards and gaps must hold at least that many
+// elements.
+//
+// Exported so the module-root benchmark suite can measure it in
+// isolation (BenchmarkDecodeBatch).
+//
+//nslint:hotpath
+func DecodeBatch(dst []trace.Packet, shards []uint8, gaps []int64, raw []byte, prevUS int64, nshards int) int {
+	n := trace.DecodeRecords(dst, raw)
+	pkts := dst[:n]
+	sh := shards[:n]
+	gp := gaps[:n]
+	if nshards == 1 {
+		for i := range sh {
+			sh[i] = 0
+		}
+	} else {
+		nsh := uint32(nshards)
+		for i := range sh {
+			rec := raw[i*trace.RecordLen : i*trace.RecordLen+trace.RecordLen]
+			w1 := binary.LittleEndian.Uint64(rec[12:20])
+			w2 := uint64(binary.LittleEndian.Uint32(rec[20:24])) | uint64(rec[10])<<32
+			sh[i] = uint8(tupleHash(w1, w2) % nsh)
+		}
+	}
+	prev := prevUS
+	for i := range pkts {
+		t := pkts[i].Time
+		gp[i] = t - prev
+		prev = t
+	}
+	return n
+}
+
+// shardIndex assigns a packet to one of n shards by hashing its
+// 5-tuple (addresses, ports, protocol), so a flow's packets always
+// land on one shard. The tuple packs into two words hashed by
+// tupleHash; the raw-path kernel loads the same two words straight out
+// of the record bytes, so both ingest paths agree bit for bit.
 func shardIndex(pkt *trace.Packet, n int) int {
 	if n == 1 {
 		return 0
 	}
+	w1 := uint64(pkt.Src[0]) | uint64(pkt.Src[1])<<8 | uint64(pkt.Src[2])<<16 | uint64(pkt.Src[3])<<24 |
+		uint64(pkt.Dst[0])<<32 | uint64(pkt.Dst[1])<<40 | uint64(pkt.Dst[2])<<48 | uint64(pkt.Dst[3])<<56
+	w2 := uint64(pkt.SrcPort) | uint64(pkt.DstPort)<<16 | uint64(uint8(pkt.Protocol))<<32
+	return int(tupleHash(w1, w2) % uint32(n))
+}
+
+// tupleHash mixes the two packed 5-tuple words into a well-distributed
+// 32-bit value: two data-independent multiply-xor folds plus a
+// murmur3-style finalizer. Three multiplies total, none serially
+// dependent on the next — a byte-serial hash chain (13 dependent
+// multiplies for the same tuple) dominated the fan-out stage's profile.
+// Flow balance is pinned by the ingest χ² test.
+func tupleHash(w1, w2 uint64) uint32 {
 	const (
-		offset32 = 2166136261
-		prime32  = 16777619
+		m1 = 0x9E3779B97F4A7C15
+		m2 = 0xC2B2AE3D27D4EB4F
+		m3 = 0xFF51AFD7ED558CCD
 	)
-	h := uint32(offset32)
-	h = (h ^ uint32(pkt.Src[0])) * prime32
-	h = (h ^ uint32(pkt.Src[1])) * prime32
-	h = (h ^ uint32(pkt.Src[2])) * prime32
-	h = (h ^ uint32(pkt.Src[3])) * prime32
-	h = (h ^ uint32(pkt.Dst[0])) * prime32
-	h = (h ^ uint32(pkt.Dst[1])) * prime32
-	h = (h ^ uint32(pkt.Dst[2])) * prime32
-	h = (h ^ uint32(pkt.Dst[3])) * prime32
-	h = (h ^ uint32(byte(pkt.SrcPort))) * prime32
-	h = (h ^ uint32(byte(pkt.SrcPort>>8))) * prime32
-	h = (h ^ uint32(byte(pkt.DstPort))) * prime32
-	h = (h ^ uint32(byte(pkt.DstPort>>8))) * prime32
-	h = (h ^ uint32(byte(pkt.Protocol))) * prime32
-	return int(h % uint32(n))
+	h := (w1 ^ m1) * m2
+	h ^= (w2 ^ m2) * m1
+	h ^= h >> 32
+	h *= m3
+	h ^= h >> 32
+	return uint32(h)
 }
 
 // ingestWorker drains one worker's unit ring: data units are hashed and
@@ -182,6 +314,14 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 			}
 			continue
 		}
+		if u.raw != nil {
+			// Raw unit: decode + hash + gap-stamp + partition in one
+			// register-resident pass over the window. The window aliases
+			// the source's region, so there is no unit buffer to recycle.
+			ig.partitionRaw(u)
+			ig.publish(u.seq, block)
+			continue
+		}
 		buf := u.buf
 		for i := 0; i < u.n; i++ {
 			s := shardIndex(&buf.pkts[i], len(ig.out))
@@ -192,38 +332,48 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 				hasGap: !(buf.noGap0 && i == 0),
 			})
 		}
-		for s := range ig.out {
-			items := ig.cur[s]
-			if len(items) == 0 {
-				// Progress marker: no packets for this shard in this unit.
-				msg := shardMsg{seq: u.seq, dropped: ig.droppedSince[s]}
-				if block {
-					ig.out[s].push(msg)
-					ig.droppedSince[s] = 0
-				} else if ig.out[s].tryPush(msg) {
-					ig.droppedSince[s] = 0
-				}
-				// A failed empty push loses nothing: the shard skips the
-				// sequence number when it sees a later one.
-				continue
-			}
-			msg := shardMsg{seq: u.seq, items: items, dropped: ig.droppedSince[s]}
-			if block {
-				ig.out[s].push(msg)
-			} else if !ig.out[s].tryPush(msg) {
-				ig.droppedSince[s] += uint64(len(items))
-				ig.cur[s] = items[:0] // keep the buffer; the batch is shed
-				continue
-			}
-			ig.droppedSince[s] = 0
-			// Buffer accounting guarantees a free item buffer once a push
-			// succeeds (QueueDepth queued + 1 at the shard + this one).
-			next, _ := ig.freeItems[s].pop()
-			ig.cur[s] = next[:0]
-		}
+		ig.publish(u.seq, block)
 		ig.freeUnits.push(buf)
 	}
 	for s := range ig.out {
 		ig.out[s].close()
+	}
+}
+
+// publish flushes the worker's partitioned per-shard item batches for
+// one consumed unit: every shard ring gets exactly one message for this
+// sequence number (data, or an empty progress marker), carrying the
+// pending drop delta.
+//
+//nslint:hotpath
+func (ig *ingestState) publish(seq uint64, block bool) {
+	for s := range ig.out {
+		items := ig.cur[s]
+		if len(items) == 0 {
+			// Progress marker: no packets for this shard in this unit.
+			msg := shardMsg{seq: seq, dropped: ig.droppedSince[s]}
+			if block {
+				ig.out[s].push(msg)
+				ig.droppedSince[s] = 0
+			} else if ig.out[s].tryPush(msg) {
+				ig.droppedSince[s] = 0
+			}
+			// A failed empty push loses nothing: the shard skips the
+			// sequence number when it sees a later one.
+			continue
+		}
+		msg := shardMsg{seq: seq, items: items, dropped: ig.droppedSince[s]}
+		if block {
+			ig.out[s].push(msg)
+		} else if !ig.out[s].tryPush(msg) {
+			ig.droppedSince[s] += uint64(len(items))
+			ig.cur[s] = items[:0] // keep the buffer; the batch is shed
+			continue
+		}
+		ig.droppedSince[s] = 0
+		// Buffer accounting guarantees a free item buffer once a push
+		// succeeds (QueueDepth queued + 1 at the shard + this one).
+		next, _ := ig.freeItems[s].pop()
+		ig.cur[s] = next[:0]
 	}
 }

@@ -67,6 +67,7 @@
 package pipeline
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -263,12 +264,13 @@ func New(cfg Config) (*Pipeline, error) {
 		done:     make(chan struct{}),
 	}
 	p.shards = make([]*shardState, cfg.Shards)
+	sizeLUT := buildSizeLUT(cfg.SizeScheme)
 	for i := range p.shards {
 		sampler, err := cfg.NewSampler(i)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: shard %d sampler: %w", i, err)
 		}
-		st, err := newShardState(i, sampler, &cfg)
+		st, err := newShardState(i, sampler, &cfg, sizeLUT)
 		if err != nil {
 			return nil, err
 		}
@@ -294,9 +296,13 @@ func New(cfg Config) (*Pipeline, error) {
 // Run drives the pipeline to completion: it reads src on the calling
 // goroutine until io.EOF, a source error, or Stop, then drains the
 // workers, publishes the final Snapshot, and returns the source error
-// if any. If src implements BatchSource the reader pulls whole batches
-// (amortizing interface calls); otherwise it adapts the per-packet
-// form. Run may be called once per Pipeline.
+// if any. The reader prefers the richest source form available: a
+// RawBatchSource (e.g. *trace.MapReader) feeds the zero-copy raw path —
+// record windows go to the ingest workers undecoded and the workers run
+// the fused decode/hash/gap kernel in parallel — a BatchSource pulls
+// whole decoded batches, and a plain Source is adapted per packet.
+// Under the Block policy all three paths produce identical snapshots.
+// Run may be called once per Pipeline.
 func (p *Pipeline) Run(src Source) error {
 	if !p.started.CompareAndSwap(false, true) {
 		return ErrReused
@@ -311,13 +317,21 @@ func (p *Pipeline) Run(src Source) error {
 	}
 	go p.collect()
 
-	bs, ok := src.(BatchSource)
-	if !ok {
-		// The adapter checks the stop request between packets, so Stop
-		// retains its packet-granular semantics on per-packet sources.
-		bs = &batchAdapter{src: src, stop: &p.stopReq}
+	var srcErr error
+	// The raw path carries shard indices as uint8, so it requires at
+	// most 256 shards; beyond that (or without a raw source) the decoded
+	// batch path applies.
+	if rs, ok := src.(RawBatchSource); ok && len(p.shards) <= 256 {
+		srcErr = p.readRaw(rs)
+	} else {
+		bs, ok := src.(BatchSource)
+		if !ok {
+			// The adapter checks the stop request between packets, so Stop
+			// retains its packet-granular semantics on per-packet sources.
+			bs = &batchAdapter{src: src, stop: &p.stopReq}
+		}
+		srcErr = p.read(bs)
 	}
-	srcErr := p.read(bs)
 
 	for _, ig := range p.ingest {
 		ig.in.close()
@@ -425,6 +439,126 @@ func (p *Pipeline) read(bs BatchSource) error {
 	}
 	p.emitBarrier(winStart, endUS, true, offered)
 	return srcErr
+}
+
+// readRaw is the zero-copy form of read: it pulls raw record windows
+// from the source and forwards them to the ingest workers undecoded, so
+// the per-packet decode, 5-tuple hash, and gap stamp all run inside the
+// parallel workers (DecodeBatch) instead of on this goroutine. The
+// reader touches only the 8-byte timestamp field of each record — to
+// drive the virtual-clock window barriers and the gap chain — and with
+// windowing disabled it reads just two timestamps per window (first and
+// last), making the sequential stage O(batches) instead of O(packets).
+//
+// Window cuts slice the raw window at record granularity, so barrier
+// positions, per-window offered counts, and gap observations are
+// identical to the decoded path; unit boundaries may differ (a raw unit
+// is a source window, not a reader-accumulated BatchSize batch), which
+// is invisible under the Block policy because snapshots are invariant
+// to unit grouping.
+//
+//nslint:hotpath
+func (p *Pipeline) readRaw(rs RawBatchSource) error {
+	var (
+		srcErr    error
+		prevUS    int64
+		winStart  int64
+		nextWin   int64
+		windowing = p.cfg.WindowUS > 0
+		offered   uint64
+		lastTime  int64
+		firstSeen bool
+		sentFirst bool
+	)
+	for !p.stopReq.Load() {
+		raw, n, err := rs.NextRawBatch(p.cfg.BatchSize)
+		if err != nil && !errors.Is(err, io.EOF) {
+			//nslint:allow hotalloc error path: one wrap at stream end, never per packet
+			srcErr = fmt.Errorf("pipeline: source: %w", err)
+		}
+		// Records returned alongside an error are still delivered.
+		if n > 0 {
+			if !firstSeen {
+				firstSeen = true
+				first := rawTime(raw, 0)
+				winStart = first
+				if windowing {
+					nextWin = first + p.cfg.WindowUS
+				}
+				// The stream's first packet has no predecessor: seeding the
+				// chain with its own timestamp yields gap 0, and noGap0
+				// masks the observation in the worker.
+				prevUS = first
+			}
+			seg := 0
+			if windowing {
+				i := 0
+				for i < n {
+					t := rawTime(raw, i)
+					if t >= nextWin {
+						if i > seg {
+							p.sendRawUnit(raw, seg, i, prevUS, !sentFirst)
+							sentFirst = true
+							prevUS = rawTime(raw, i-1)
+							seg = i
+						}
+						p.emitBarrier(winStart, nextWin, false, offered)
+						offered = 0
+						winStart = nextWin
+						nextWin += p.cfg.WindowUS
+						continue
+					}
+					offered++
+					lastTime = t
+					i++
+				}
+			} else {
+				offered += uint64(n)
+				lastTime = rawTime(raw, n-1)
+			}
+			if n > seg {
+				p.sendRawUnit(raw, seg, n, prevUS, !sentFirst)
+				sentFirst = true
+				prevUS = lastTime
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	endUS := lastTime + 1
+	if !firstSeen {
+		winStart, endUS = 0, 0
+	}
+	p.emitBarrier(winStart, endUS, true, offered)
+	return srcErr
+}
+
+// rawTime reads record i's timestamp field from a raw record window —
+// the only field the raw reader ever decodes.
+//
+//nslint:hotpath
+func rawTime(raw []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(raw[i*trace.RecordLen:]))
+}
+
+// sendRawUnit hands the [from, to) record sub-window of raw to its
+// round-robin ingest worker, consuming one sequence number. The slice
+// aliases the source's region (stable until Run returns, per
+// RawBatchSource), so no unit buffer is consumed — the bounded in ring
+// alone provides the backpressure. Reader goroutine only.
+//
+//nslint:hotpath
+func (p *Pipeline) sendRawUnit(raw []byte, from, to int, prevUS int64, noGap0 bool) {
+	w := int(p.useq % uint64(len(p.ingest)))
+	p.ingest[w].in.push(srcUnit{
+		seq:    p.useq,
+		raw:    raw[from*trace.RecordLen : to*trace.RecordLen],
+		n:      to - from,
+		prevUS: prevUS,
+		noGap0: noGap0,
+	})
+	p.useq++
 }
 
 // takeUnit acquires a recycled batch buffer for the unit that will

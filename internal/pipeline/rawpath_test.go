@@ -1,0 +1,268 @@
+package pipeline
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"netsample/internal/dist"
+	"netsample/internal/online"
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+)
+
+// The mmap reader must satisfy every source form Run dispatches on.
+var (
+	_ Source         = (*trace.MapReader)(nil)
+	_ BatchSource    = (*trace.MapReader)(nil)
+	_ RawBatchSource = (*trace.MapReader)(nil)
+)
+
+// TestDecodeBatchEquivalence cross-checks the fused raw kernel against
+// the reference path — trace round-trip decode, per-packet shardIndex,
+// and explicit gap chaining — over randomized packets, shard counts,
+// and window offsets. This is the layout-drift guard: if the NSTR
+// record format or the hash byte order ever changes, the kernel and the
+// reference disagree here before any pipeline test runs.
+func TestDecodeBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1993))
+	pkts := make([]trace.Packet, 300)
+	now := int64(0)
+	for i := range pkts {
+		now += int64(rng.Intn(2000))
+		pkts[i] = trace.Packet{
+			Time:     now,
+			Size:     uint16(rng.Intn(1 << 16)),
+			Protocol: packet.Protocol(rng.Intn(256)),
+			TCPFlags: uint8(rng.Intn(256)),
+			Src:      packet.Addr{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			Dst:      packet.Addr{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			SrcPort:  uint16(rng.Intn(1 << 16)),
+			DstPort:  uint16(rng.Intn(1 << 16)),
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, &trace.Trace{Packets: pkts}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[trace.HeaderLen:]
+
+	for _, nshards := range []int{1, 2, 4, 7, 256} {
+		for _, window := range []struct{ from, to int }{
+			{0, len(pkts)}, {0, 1}, {17, 113}, {len(pkts) - 3, len(pkts)},
+		} {
+			n := window.to - window.from
+			dst := make([]trace.Packet, n)
+			shards := make([]uint8, n)
+			gaps := make([]int64, n)
+			prevUS := int64(-5)
+			if window.from > 0 {
+				prevUS = pkts[window.from-1].Time
+			}
+			got := DecodeBatch(dst, shards, gaps,
+				raw[window.from*trace.RecordLen:window.to*trace.RecordLen], prevUS, nshards)
+			if got != n {
+				t.Fatalf("nshards=%d window=%v: decoded %d, want %d", nshards, window, got, n)
+			}
+			prev := prevUS
+			for i := 0; i < n; i++ {
+				ref := pkts[window.from+i]
+				if dst[i] != ref {
+					t.Fatalf("nshards=%d window=%v: packet %d decoded %+v, want %+v",
+						nshards, window, i, dst[i], ref)
+				}
+				if want := uint8(shardIndex(&ref, nshards)); shards[i] != want {
+					t.Fatalf("nshards=%d window=%v: packet %d shard %d, want %d",
+						nshards, window, i, shards[i], want)
+				}
+				if want := ref.Time - prev; gaps[i] != want {
+					t.Fatalf("nshards=%d window=%v: packet %d gap %d, want %d",
+						nshards, window, i, gaps[i], want)
+				}
+				prev = ref.Time
+			}
+		}
+	}
+
+	// Short raw windows decode only the complete records.
+	dst := make([]trace.Packet, 4)
+	shards := make([]uint8, 4)
+	gaps := make([]int64, 4)
+	if got := DecodeBatch(dst, shards, gaps, raw[:2*trace.RecordLen+13], 0, 4); got != 2 {
+		t.Fatalf("partial window decoded %d records, want 2", got)
+	}
+}
+
+// writeTraceFile serializes tr to a temp NSTR file and returns the path.
+func writeTraceFile(t *testing.T, tr *trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pipe.nstr")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runShardedSource mirrors runShardedWorkers with an arbitrary source:
+// same 4-shard stratified config, seed-split RNGs, and 30 s windows.
+func runShardedSource(t *testing.T, tr *trace.Trace, seed uint64, workers int, src Source) []*Snapshot {
+	t.Helper()
+	sizeEval, iatEval := evaluators(t, tr)
+	root := dist.NewRNG(seed)
+	rngs := make([]*dist.RNG, 4)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	p, err := New(Config{
+		Shards:        4,
+		IngestWorkers: workers,
+		NewSampler: func(shard int) (online.Sampler, error) {
+			return online.NewStratified(50, rngs[shard])
+		},
+		SizeEval: sizeEval,
+		IatEval:  iatEval,
+		WindowUS: 30_000_000,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.Run(src); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return p.Snapshots()
+}
+
+// TestSourceEquivalenceSnapshots proves the three source forms — the
+// zero-copy MapReader raw path, the StreamReader decoded batch path,
+// and the in-memory Replayer — produce byte-identical snapshot
+// sequences on the same trace file, windows, shards, and seeds. This is
+// the tier-1 equivalence pin for the raw ingest path: barrier
+// positions, gap observations, sampling decisions, and scored reports
+// all have to agree bit-for-bit.
+func TestSourceEquivalenceSnapshots(t *testing.T) {
+	tr := smallTrace(t, 991)
+	path := writeTraceFile(t, tr)
+
+	base := runShardedSource(t, tr, 11, 2, tr.Replay())
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sr, err := trace.NewStreamReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := runShardedSource(t, tr, 11, 2, sr)
+
+	mr, err := trace.OpenMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Close()
+	mapped := runShardedSource(t, tr, 11, 2, mr)
+
+	if len(base) < 2 {
+		t.Fatalf("want multiple windows, got %d", len(base))
+	}
+	for _, got := range [][]*Snapshot{streamed, mapped} {
+		if len(got) != len(base) {
+			t.Fatalf("%d snapshots, want %d", len(got), len(base))
+		}
+		for i := range base {
+			assertSnapshotsEqual(t, i, base[i], got[i])
+		}
+	}
+}
+
+// runShardedRaw is runShardedWorkers fed through the MapReader raw
+// path: same trace, same seeds, mmap'd file instead of in-memory
+// replay.
+func runShardedRaw(t *testing.T, path string, tr *trace.Trace, seed uint64, workers int) []*Snapshot {
+	t.Helper()
+	mr, err := trace.OpenMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Close()
+	return runShardedSource(t, tr, seed, workers, mr)
+}
+
+// TestParallelIngestDeterministicRaw extends the determinism pin to the
+// raw path: for any ingest-worker count, a MapReader-fed run is
+// bit-identical to the single-worker Replayer-fed baseline.
+func TestParallelIngestDeterministicRaw(t *testing.T) {
+	tr := smallTrace(t, 777)
+	path := writeTraceFile(t, tr)
+	base := runShardedWorkers(t, tr, 7, 1)
+	for _, workers := range []int{1, 2, 3, 4} {
+		got := runShardedRaw(t, path, tr, 7, workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d snapshots, want %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			assertSnapshotsEqual(t, i, base[i], got[i])
+		}
+	}
+}
+
+// TestMapReaderHotPathAllocs pins the raw path's allocation budget end
+// to end: a MapReader-fed pipeline run allocates only its fixed startup
+// cost — the mapped region is the packet storage, the decode scratch is
+// preallocated per worker, and the per-packet path stays at zero.
+func TestMapReaderHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	const n = 200_000
+	pkts := make([]trace.Packet, n)
+	for i := range pkts {
+		pkts[i] = trace.Packet{
+			Time:    int64(i) * 500,
+			Size:    uint16(40 + (i%8)*64),
+			Src:     packet.Addr{10, 0, 0, byte(i % 8)},
+			Dst:     packet.Addr{10, 0, 1, byte(i % 4)},
+			SrcPort: uint16(1024 + i%8),
+			DstPort: 80,
+		}
+	}
+	path := writeTraceFile(t, &trace.Trace{Packets: pkts})
+	mr, err := trace.OpenMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Close()
+	p, err := New(Config{
+		Shards:        2,
+		IngestWorkers: 2,
+		NewSampler:    func(int) (online.Sampler, error) { return online.NewSystematic(10, 0) },
+		FlowTimeoutUS: 1 << 60, // flows never expire: no per-packet flow churn
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := p.Run(mr); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	if allocs > n/100 {
+		t.Errorf("raw-path run of %d packets made %d allocations (> %d): hot path is allocating",
+			n, allocs, n/100)
+	}
+	snap, ok := p.Latest()
+	if !ok || snap.Processed != n {
+		t.Fatalf("run did not process all packets: %+v", snap)
+	}
+}

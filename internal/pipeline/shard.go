@@ -41,9 +41,21 @@ type shardState struct {
 	free []*spsc[[]item]   // recycle side, back to each worker
 
 	// Worker-owned.
-	sampler    online.Sampler
+	sampler online.Sampler
+	// sysSampler devirtualizes the per-packet Offer when the sampler is
+	// the common *online.Systematic: a direct (inlinable) call instead
+	// of an interface dispatch on the path every packet takes.
+	sysSampler *online.Systematic
 	sizeScheme bins.Scheme
 	iatScheme  bins.Scheme
+	// sizeLUT tabulates sizeScheme.Index over the full uint16 domain of
+	// Packet.Size (shared read-only across shards; nil if the scheme
+	// exceeds uint8 bins), turning per-packet size binning into one
+	// 64 KiB table load. iatEdged is set when iatScheme is a *bins.Edged,
+	// switching interarrival binning to the branchless IndexLinear scan.
+	// Both are bit-identical to the schemes' Index.
+	sizeLUT    []uint8
+	iatEdged   *bins.Edged
 	sizeCounts []float64
 	iatCounts  []float64
 	flowTab    *flows.Table
@@ -56,8 +68,9 @@ type shardState struct {
 }
 
 // newShardState allocates one shard's aggregates. The rings are wired
-// in by New once the ingest workers exist.
-func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, error) {
+// in by New once the ingest workers exist; sizeLUT is built once by New
+// and shared read-only across shards.
+func newShardState(id int, sampler online.Sampler, cfg *Config, sizeLUT []uint8) (*shardState, error) {
 	flowTab, err := flows.NewTable(cfg.FlowTimeoutUS)
 	if err != nil {
 		return nil, err
@@ -66,17 +79,38 @@ func newShardState(id int, sampler online.Sampler, cfg *Config) (*shardState, er
 	if err != nil {
 		return nil, err
 	}
+	iatEdged, _ := cfg.IatScheme.(*bins.Edged)
+	sysSampler, _ := sampler.(*online.Systematic)
 	return &shardState{
 		id:         id,
 		sampler:    sampler,
+		sysSampler: sysSampler,
 		sizeScheme: cfg.SizeScheme,
 		iatScheme:  cfg.IatScheme,
+		sizeLUT:    sizeLUT,
+		iatEdged:   iatEdged,
 		sizeCounts: make([]float64, cfg.SizeScheme.NumBins()),
 		iatCounts:  make([]float64, cfg.IatScheme.NumBins()),
 		flowTab:    flowTab,
 		topk:       topk,
 		topkReport: cfg.TopKReport,
 	}, nil
+}
+
+// buildSizeLUT tabulates a size scheme over every possible Packet.Size
+// value. The IP total length is a uint16, so 64 KiB of uint8 indices
+// cover the whole domain exactly — Index is consulted once per value at
+// construction, making the table bit-identical to the scheme by
+// definition. Returns nil for schemes whose bin count exceeds uint8.
+func buildSizeLUT(s bins.Scheme) []uint8 {
+	if s.NumBins() > 256 {
+		return nil
+	}
+	lut := make([]uint8, 1<<16)
+	for v := range lut {
+		lut[v] = uint8(s.Index(float64(v)))
+	}
+	return lut
 }
 
 // shardWorker drains one shard's rings in global sequence order: the
@@ -156,13 +190,25 @@ func (p *Pipeline) shardWorker(st *shardState) {
 // it must not allocate (pinned by TestPipelineHotPathAllocs).
 func (st *shardState) process(it *item) {
 	st.processed++
-	if !st.sampler.Offer(it.pkt.Time) {
+	if st.sysSampler != nil {
+		if !st.sysSampler.Offer(it.pkt.Time) {
+			return
+		}
+	} else if !st.sampler.Offer(it.pkt.Time) {
 		return
 	}
 	st.selected++
-	st.sizeCounts[st.sizeScheme.Index(float64(it.pkt.Size))]++
+	if st.sizeLUT != nil {
+		st.sizeCounts[st.sizeLUT[it.pkt.Size]]++
+	} else {
+		st.sizeCounts[st.sizeScheme.Index(float64(it.pkt.Size))]++
+	}
 	if it.hasGap {
-		st.iatCounts[st.iatScheme.Index(float64(it.gapUS))]++
+		if st.iatEdged != nil {
+			st.iatCounts[st.iatEdged.IndexLinear(float64(it.gapUS))]++
+		} else {
+			st.iatCounts[st.iatScheme.Index(float64(it.gapUS))]++
+		}
 	}
 	st.flowTab.Add(it.pkt)
 	k := &st.keyBuf

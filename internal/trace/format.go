@@ -35,11 +35,17 @@ import (
 
 var traceMagic = [4]byte{'N', 'S', 'T', 'R'}
 
-// Format constants.
+// Format constants. HeaderLen and RecordLen are exported so zero-copy
+// consumers (the pipeline's raw-batch kernels, the mmap reader's
+// callers) can slice record windows out of an NSTR byte region without
+// round-tripping through the decoder.
 const (
 	FormatVersion = 1
-	headerLen     = 32
-	recordLen     = 24
+	HeaderLen     = 32
+	RecordLen     = 24
+
+	headerLen = HeaderLen
+	recordLen = RecordLen
 )
 
 // ErrFormat reports a malformed trace stream.
@@ -79,16 +85,51 @@ func encodeRecord(rec *[recordLen]byte, p Packet) {
 }
 
 func decodeRecord(rec *[recordLen]byte) Packet {
-	var p Packet
-	p.Time = int64(binary.LittleEndian.Uint64(rec[0:]))
-	p.Size = binary.LittleEndian.Uint16(rec[8:])
-	p.Protocol = packet.Protocol(rec[10])
-	p.TCPFlags = rec[11]
-	copy(p.Src[:], rec[12:16])
-	copy(p.Dst[:], rec[16:20])
-	p.SrcPort = binary.LittleEndian.Uint16(rec[20:])
-	p.DstPort = binary.LittleEndian.Uint16(rec[22:])
-	return p
+	return decodeRecordBytes(rec[:])
+}
+
+// decodeRecordBytes decodes one record from a slice of at least
+// RecordLen bytes. The rec[23] touch up front collapses the per-field
+// bounds checks into one, and the record is consumed as three 8-byte
+// little-endian words — each field is a shift-and-truncate off a
+// register instead of its own memory load.
+//
+//nslint:hotpath
+func decodeRecordBytes(rec []byte) Packet {
+	_ = rec[recordLen-1]
+	w0 := binary.LittleEndian.Uint64(rec[0:8])
+	w1 := binary.LittleEndian.Uint64(rec[8:16])
+	w2 := binary.LittleEndian.Uint64(rec[16:24])
+	return Packet{
+		Time:     int64(w0),
+		Size:     uint16(w1),
+		Protocol: packet.Protocol(w1 >> 16),
+		TCPFlags: uint8(w1 >> 24),
+		Src:      packet.Addr{byte(w1 >> 32), byte(w1 >> 40), byte(w1 >> 48), byte(w1 >> 56)},
+		Dst:      packet.Addr{byte(w2), byte(w2 >> 8), byte(w2 >> 16), byte(w2 >> 24)},
+		SrcPort:  uint16(w2 >> 32),
+		DstPort:  uint16(w2 >> 48),
+	}
+}
+
+// DecodeRecords decodes consecutive NSTR records from raw into dst and
+// returns how many it decoded: min(len(dst), len(raw)/RecordLen).
+// Trailing bytes shorter than a full record are ignored; raw is read
+// but never retained, so callers may pass views into a memory-mapped
+// region. This is the batch kernel under StreamReader.NextBatch and
+// MapReader: one pass, no buffering layer, bounds checks hoisted per
+// record rather than per field.
+//
+//nslint:hotpath
+func DecodeRecords(dst []Packet, raw []byte) int {
+	n := len(raw) / recordLen
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = decodeRecordBytes(raw[i*recordLen : i*recordLen+recordLen])
+	}
+	return n
 }
 
 // Read deserializes a complete NSTR trace from r, verifying the magic,

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MapReader reads an NSTR trace from a byte region mapped (or loaded)
+// into memory. The header is validated once at open; after that the
+// reader is pure pointer arithmetic — record batches are handed out as
+// views straight into the region, with no per-packet copy and no bufio
+// layer between the file and the decoder.
+//
+// Aliasing rules: every slice returned by NextRawBatch aliases the
+// mapped region and stays valid, immutable, and stable until Close.
+// Callers may therefore hold windows from many calls at once (the
+// pipeline's ingest workers do exactly that), but must not touch any
+// view after Close unmaps the pages — see DESIGN.md §13.
+//
+// A region that is shorter than its header's declared record count
+// delivers every complete record it contains and then reports a typed
+// ErrFormat; trailing bytes beyond the declared count are ignored.
+type MapReader struct {
+	data    []byte // full region, header included; nil after Close
+	start   time.Time
+	clockUS int64
+	total   uint64 // record count declared by the header
+	avail   uint64 // complete records actually present in the region
+	pos     uint64 // index of the next record to hand out
+	release func() error
+}
+
+// OpenMap memory-maps the NSTR trace file at path (read-only; a whole-
+// file read on platforms without mmap) and validates its header. The
+// caller owns the returned reader and must Close it to unmap.
+func OpenMap(path string) (*MapReader, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMapReaderBytes(data)
+	if err != nil {
+		if release != nil {
+			// The header error is the one worth reporting; an unmap failure
+			// on this abandoned mapping has no caller-visible effect.
+			//nslint:allow errdrop header validation failed; the munmap error would mask the real cause
+			release()
+		}
+		return nil, err
+	}
+	m.release = release
+	return m, nil
+}
+
+// NewMapReaderBytes validates the NSTR header at the front of data and
+// returns a reader over the region. The reader aliases data directly;
+// the caller must keep it immutable for the reader's lifetime. Close on
+// a reader constructed this way only severs the views — the region's
+// storage belongs to the caller.
+func NewMapReaderBytes(data []byte) (*MapReader, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: header: region is %d bytes, need %d", ErrFormat, len(data), headerLen)
+	}
+	if [4]byte(data[0:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	m := &MapReader{
+		data:    data,
+		start:   time.UnixMicro(int64(binary.LittleEndian.Uint64(data[8:]))).UTC(),
+		clockUS: int64(binary.LittleEndian.Uint64(data[16:])),
+		total:   binary.LittleEndian.Uint64(data[24:]),
+	}
+	m.avail = uint64(len(data)-headerLen) / recordLen
+	if m.avail > m.total {
+		m.avail = m.total
+	}
+	return m, nil
+}
+
+// Start returns the trace's wall-clock start time.
+func (m *MapReader) Start() time.Time { return m.start }
+
+// ClockUS returns the capture clock granularity.
+func (m *MapReader) ClockUS() int64 { return m.clockUS }
+
+// Total returns the record count declared in the header.
+func (m *MapReader) Total() uint64 { return m.total }
+
+// Rewind repositions the reader at the first record.
+func (m *MapReader) Rewind() { m.pos = 0 }
+
+// Close releases the mapping (munmap for OpenMap on Linux) and severs
+// the reader: subsequent reads report ErrFormat rather than faulting on
+// unmapped pages. Raw views already handed out die with the mapping —
+// the caller must not touch them after Close. Closing twice is safe.
+func (m *MapReader) Close() error {
+	m.data = nil
+	m.avail = 0
+	release := m.release
+	m.release = nil
+	if release == nil {
+		return nil
+	}
+	return release()
+}
+
+// NextRawBatch returns a view of up to max consecutive records as raw
+// bytes, straight out of the mapped region, plus the record count. The
+// view is valid until Close — see the aliasing rules on MapReader.
+// Complete records precede any error: a region truncated below the
+// declared count yields its remaining records alongside nil, then
+// ErrFormat on the next call; exhaustion yields (nil, 0, io.EOF).
+//
+//nslint:hotpath
+func (m *MapReader) NextRawBatch(max int) ([]byte, int, error) {
+	if m.pos >= m.total {
+		return nil, 0, io.EOF
+	}
+	want := m.total - m.pos
+	if max <= 0 {
+		return nil, 0, nil
+	}
+	if uint64(max) < want {
+		want = uint64(max)
+	}
+	var have uint64
+	if m.pos < m.avail {
+		have = m.avail - m.pos
+	}
+	if have < want {
+		if have == 0 {
+			//nslint:allow hotalloc error path: a truncated region errors once and ends the run
+			return nil, 0, fmt.Errorf("%w: record %d: region truncated (%d of %d records present)",
+				ErrFormat, m.pos, m.avail, m.total)
+		}
+		want = have
+	}
+	off := headerLen + m.pos*recordLen
+	raw := m.data[off : off+want*recordLen : off+want*recordLen]
+	m.pos += want
+	return raw, int(want), nil
+}
+
+// NextBatch fills dst with the next records, decoded from the mapped
+// region in one DecodeRecords pass — the pipeline.BatchSource form of
+// the reader. Contract matches StreamReader.NextBatch: decoded packets
+// precede any error, truncation is ErrFormat, exhaustion is (0, io.EOF).
+//
+//nslint:hotpath
+func (m *MapReader) NextBatch(dst []Packet) (int, error) {
+	raw, n, err := m.NextRawBatch(len(dst))
+	DecodeRecords(dst[:n], raw)
+	return n, err
+}
+
+// Next returns the next packet — the pipeline.Source form. After the
+// declared record count it returns io.EOF; a truncated region returns
+// ErrFormat.
+func (m *MapReader) Next() (Packet, error) {
+	var one [1]Packet
+	n, err := m.NextBatch(one[:])
+	if n == 0 {
+		return Packet{}, err
+	}
+	return one[0], nil
+}
+
+// Trace materializes the full trace as an in-memory Trace — the one
+// deliberate copy in the MapReader API, for consumers that need random
+// access (reference evaluators, report baselines). It reads the region
+// directly without moving the stream position, and refuses a truncated
+// region up front so the allocation is always backed by real records.
+func (m *MapReader) Trace() (*Trace, error) {
+	if m.avail < m.total {
+		return nil, fmt.Errorf("%w: region truncated (%d of %d records present)", ErrFormat, m.avail, m.total)
+	}
+	t := &Trace{Start: m.start, ClockUS: m.clockUS, Packets: make([]Packet, m.total)}
+	DecodeRecords(t.Packets, m.data[headerLen:headerLen+m.total*recordLen])
+	return t, nil
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// mapFile is the portable stand-in for the Linux mmap path: it reads
+// the whole file into memory and returns the same (region, release)
+// contract. Views handed out by MapReader alias this buffer exactly as
+// they would alias a mapped region, so every aliasing rule — and every
+// test — exercises the same lifetimes on all platforms.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

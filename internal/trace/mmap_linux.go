@@ -1,0 +1,38 @@
+//go:build linux
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only into memory and returns the byte region
+// together with the release function that unmaps it. The file
+// descriptor is closed before returning — the mapping keeps the pages
+// alive on its own. An empty file maps to an empty (nil) region, since
+// mmap of length 0 is an error on Linux.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) || int(size) < 0 {
+		return nil, nil, fmt.Errorf("%w: file size %d not mappable", ErrFormat, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

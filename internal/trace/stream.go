@@ -18,6 +18,7 @@ type StreamReader struct {
 	clockUS int64
 	total   uint64
 	read    uint64
+	scratch []byte // batch×RecordLen staging for NextBatch bulk reads
 }
 
 // NewStreamReader validates the stream header and returns a reader
@@ -70,23 +71,35 @@ func (s *StreamReader) Next() (Packet, error) {
 // how many it decoded — the amortized batch form of Next. Decoded
 // packets precede any error: a short stream returns the packets read so
 // far alongside ErrFormat, and exhaustion returns (0, io.EOF).
+//
+// The whole batch is fetched with a single bulk io.ReadFull into a
+// reusable batch×RecordLen scratch buffer and decoded in one
+// DecodeRecords pass; a short read still surfaces every complete record
+// it delivered before the ErrFormat.
+//
+//nslint:hotpath
 func (s *StreamReader) NextBatch(dst []Packet) (int, error) {
-	n := 0
-	for n < len(dst) {
-		if s.read >= s.total {
-			if n > 0 {
-				return n, nil
-			}
-			return 0, io.EOF
-		}
-		var rec [recordLen]byte
-		if _, err := io.ReadFull(s.br, rec[:]); err != nil {
-			//nslint:allow hotalloc error path: a truncated stream wraps once and ends the run
-			return n, fmt.Errorf("%w: record %d: %v", ErrFormat, s.read, err)
-		}
-		s.read++
-		dst[n] = decodeRecord(&rec)
-		n++
+	if s.read >= s.total {
+		return 0, io.EOF
+	}
+	want := uint64(len(dst))
+	if left := s.total - s.read; left < want {
+		want = left
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	need := int(want) * recordLen
+	if cap(s.scratch) < need {
+		//nslint:allow hotalloc scratch grows to the largest batch once, then is reused
+		s.scratch = make([]byte, need)
+	}
+	got, err := io.ReadFull(s.br, s.scratch[:need])
+	n := DecodeRecords(dst, s.scratch[:got])
+	s.read += uint64(n)
+	if err != nil {
+		//nslint:allow hotalloc error path: a truncated stream wraps once and ends the run
+		return n, fmt.Errorf("%w: record %d: %v", ErrFormat, s.read, err)
 	}
 	return n, nil
 }

@@ -66,6 +66,64 @@ func TestStreamReaderTruncation(t *testing.T) {
 	}
 }
 
+func TestStreamReaderNextBatchContract(t *testing.T) {
+	tr := mkTrace([]int64{0, 400, 800, 1200, 1600}, []uint16{40, 552, 1500, 28, 576})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Batches smaller, equal, and larger than the stream; the bulk read
+	// must deliver exactly the declared records and then (0, io.EOF).
+	for _, batch := range []int{1, 2, 5, 16} {
+		sr, err := NewStreamReader(bytes.NewReader(full))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Packet
+		dst := make([]Packet, batch)
+		for {
+			n, err := sr.NextBatch(dst)
+			got = append(got, dst[:n]...)
+			if err == io.EOF {
+				if n != 0 {
+					t.Fatalf("batch=%d: EOF carried %d records", batch, n)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(tr.Packets) {
+			t.Fatalf("batch=%d: %d records, want %d", batch, len(got), len(tr.Packets))
+		}
+		for i := range got {
+			if got[i] != tr.Packets[i] {
+				t.Fatalf("batch=%d: record %d mismatch", batch, i)
+			}
+		}
+	}
+
+	// Short stream: the complete records of the partial bulk read precede
+	// the ErrFormat.
+	sr, err := NewStreamReader(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Packet, 16)
+	n, err := sr.NextBatch(dst)
+	if n != 4 || !errors.Is(err, ErrFormat) {
+		t.Fatalf("short stream: n=%d err=%v", n, err)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != tr.Packets[i] {
+			t.Fatalf("short-stream record %d mismatch", i)
+		}
+	}
+}
+
 func TestStreamReaderBadHeader(t *testing.T) {
 	if _, err := NewStreamReader(bytes.NewReader([]byte("short"))); !errors.Is(err, ErrFormat) {
 		t.Error("short header accepted")

@@ -122,6 +122,14 @@ func TestHotClosureCoversAllocPinnedPaths(t *testing.T) {
 		"(*" + mp + "/internal/online.Systematic).Offer",
 		"(*" + mp + "/internal/online.Stratified).Offer",
 		"(*" + mp + "/internal/bins.Edged).Index",
+		// TestMapReaderHotPathAllocs: the zero-copy raw ingest path,
+		// per batch of records.
+		"(*" + mp + "/internal/pipeline.Pipeline).readRaw",
+		mp + "/internal/pipeline.DecodeBatch",
+		"(*" + mp + "/internal/trace.MapReader).NextRawBatch",
+		mp + "/internal/trace.DecodeRecords",
+		"(*" + mp + "/internal/bins.Edged).IndexLinear",
+		"(*" + mp + "/internal/bins.Edged).IndexBatch",
 		// TestGenerateAllocs: the generator's per-flow/per-packet loop.
 		mp + "/internal/traffgen.appendFlows",
 		// TestReplicationScoringZeroAllocs: the fused scoring visit.
