@@ -29,6 +29,7 @@ import (
 	"netsample/internal/pipeline"
 	"netsample/internal/snmp"
 	"netsample/internal/stats"
+	"netsample/internal/store"
 	"netsample/internal/trace"
 	"netsample/internal/traffgen"
 )
@@ -1092,5 +1093,69 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 				b.Fatalf("pipeline lost packets: %+v", snap)
 			}
 		})
+	}
+}
+
+// BenchmarkStoreAppend measures the durable store's hot append path on
+// 56-byte report records — one op is one Append, with the group-commit
+// fsync cost (one sync per store.DefaultSyncEvery appends) amortized
+// into the per-op number, which is how the write path actually runs.
+func BenchmarkStoreAppend(b *testing.B) {
+	w, err := store.Open(b.TempDir(), store.Options{
+		SegmentRecords: 1 << 30,
+		SyncWindowUS:   -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, metrics.ReportWireSize)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(store.KindReport, int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReplay measures the mmap read path: replay a sealed
+// multi-segment store of 56-byte report records, one op per record.
+func BenchmarkStoreReplay(b *testing.B) {
+	dir := b.TempDir()
+	w, err := store.Open(dir, store.Options{SegmentRecords: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, metrics.ReportWireSize)
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(store.KindReport, int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	r, err := store.OpenReader(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	err = r.Replay(func(rec store.Record) error {
+		if len(rec.Payload) != metrics.ReportWireSize {
+			b.Fatalf("record %d payload %d bytes", n, len(rec.Payload))
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("replayed %d of %d records", n, b.N)
 	}
 }

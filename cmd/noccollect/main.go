@@ -12,6 +12,11 @@
 // Polls are retried with seeded-jitter exponential backoff; thanks to
 // the ack-based cycle protocol a retried poll recovers the agent's
 // pending cycle instead of losing or double-counting it.
+//
+// With -store, each cycle additionally polls every agent's latest
+// pipeline window snapshot and appends it to an append-only segment
+// store (internal/store), deduplicated by (node, seq) so overlapping
+// cycles never double-record a window. Query the store with nocquery.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"netsample/internal/collect"
 	"netsample/internal/dist"
 	"netsample/internal/packet"
+	"netsample/internal/store"
 )
 
 func main() {
@@ -41,6 +47,8 @@ func main() {
 	maxBackoff := flag.Duration("max-backoff", 2*time.Second, "retry backoff cap")
 	jitterSeed := flag.Uint64("jitter-seed", 1, "seed for retry jitter (deterministic schedules)")
 	maxConcurrent := flag.Int("max-concurrent", collect.DefaultMaxConcurrent, "agents polled at once")
+	storeDir := flag.String("store", "", "persist polled fleet snapshots to this store directory (append-only segment log)")
+	storeSync := flag.Int("store-sync", store.DefaultSyncEvery, "store group commit: fsync once per this many snapshots")
 	flag.Parse()
 
 	if *agents == "" {
@@ -54,6 +62,24 @@ func main() {
 	c.MaxBackoff = *maxBackoff
 	c.Jitter = dist.NewRNG(*jitterSeed)
 	c.MaxConcurrent = *maxConcurrent
+
+	var sw *store.Writer
+	if *storeDir != "" {
+		var err error
+		sw, err = store.Open(*storeDir, store.Options{SyncEvery: *storeSync})
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		defer func() {
+			if err := sw.Close(); err != nil {
+				log.Printf("store: %v", err)
+			}
+		}()
+	}
+	// lastSeq deduplicates persisted snapshots per node: an agent polled
+	// faster than its window cadence keeps serving the same window, and
+	// the store should hold each window once.
+	lastSeq := make(map[string]uint64)
 
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
 		start := time.Now() //nslint:allow noclock operator-facing wall-clock cycle timestamp in a CLI
@@ -109,9 +135,35 @@ func main() {
 		}
 		fmt.Printf("  ports: %s\n", strings.Join(parts, " "))
 
+		if sw != nil {
+			persistSnapshots(c, sw, addrs, lastSeq)
+		}
+
 		if *cycles != 0 && cycle == *cycles {
 			break
 		}
 		time.Sleep(*interval)
+	}
+}
+
+// persistSnapshots polls each agent's latest window snapshot and appends
+// the new ones (by node and window sequence) to the store. A failed
+// snapshot poll is reported and skipped — the report cycle above already
+// retried the transport, and the next cycle will catch the window up.
+func persistSnapshots(c *collect.Collector, sw *store.Writer, addrs []string, lastSeq map[string]uint64) {
+	for _, addr := range addrs {
+		snap, err := c.PollSnapshot(addr)
+		if err != nil {
+			log.Printf("snapshot poll %s: %v", addr, err)
+			continue
+		}
+		if seen, ok := lastSeq[snap.Node]; ok && snap.Seq <= seen {
+			continue
+		}
+		if err := sw.AppendSnapshot(snap); err != nil {
+			log.Printf("store append %s: %v", snap.Node, err)
+			continue
+		}
+		lastSeq[snap.Node] = snap.Seq
 	}
 }

@@ -22,6 +22,11 @@
 // SIGINT/SIGTERM drain the pipeline cleanly and the final snapshot is
 // printed before exit.
 //
+// Retention: -store appends every cut window snapshot to an append-only
+// Merkle-chained segment store (internal/store, DESIGN.md §14); query it
+// offline with nocquery, which replays the exact wire payloads the live
+// exporter serves.
+//
 // Profiling: -pprof serves net/http/pprof on the given address, and
 // -mutex-profile-fraction / -block-profile-rate enable the runtime's
 // contention profilers, so ring and scheduler behavior is observable in
@@ -48,6 +53,7 @@ import (
 	"netsample/internal/dist"
 	"netsample/internal/online"
 	"netsample/internal/pipeline"
+	"netsample/internal/store"
 	"netsample/internal/trace"
 	"netsample/internal/traffgen"
 )
@@ -75,6 +81,9 @@ func main() {
 		topk          = flag.Int("topk", pipeline.DefaultTopKReport, "heavy-hitter flows per snapshot")
 		flowTimeout   = flag.Duration("flow-timeout", 15*time.Second, "flow idle timeout on the virtual clock")
 		name          = flag.String("name", "nsd", "node name in exported snapshots")
+		storeDir      = flag.String("store", "", "persist every window snapshot to this store directory (append-only segment log)")
+		storeSync     = flag.Int("store-sync", store.DefaultSyncEvery, "store group commit: fsync once per this many snapshots")
+		storeSegment  = flag.Int("store-segment", store.DefaultSegmentRecords, "snapshots per store segment before it is sealed")
 		once          = flag.Bool("once", false, "exit when the source drains instead of serving until a signal")
 		quiet         = flag.Bool("q", false, "suppress per-window snapshot lines")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
@@ -121,9 +130,29 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.IngestWorkers = *ingestWorkers
-	if !*quiet {
+	var sw *store.Writer
+	if *storeDir != "" {
+		sw, err = store.Open(*storeDir, store.Options{
+			SyncEvery:      *storeSync,
+			SegmentRecords: *storeSegment,
+		})
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+	}
+	if !*quiet || sw != nil {
 		cfg.OnSnapshot = func(s *pipeline.Snapshot) {
-			fmt.Println(summarize(s))
+			if !*quiet {
+				fmt.Println(summarize(s))
+			}
+			if sw != nil {
+				// The persisted record is the exact wire payload the
+				// exporter would serve, so a cold replay of the store is
+				// bit-identical to the live export.
+				if err := sw.AppendSnapshot(s.Wire(*name)); err != nil {
+					log.Printf("store: %v", err)
+				}
+			}
 		}
 	}
 	p, err := pipeline.New(cfg)
@@ -161,6 +190,13 @@ func main() {
 	}
 	if final, ok := p.Latest(); ok && *quiet {
 		fmt.Println(summarize(final))
+	}
+	if sw != nil {
+		// Flush and fsync the tail; the segment stays unsealed so the
+		// next run resumes it.
+		if err := sw.Close(); err != nil {
+			log.Printf("store: %v", err)
+		}
 	}
 
 	if !*once {

@@ -1,0 +1,152 @@
+package netsample
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netsample/internal/bins"
+	"netsample/internal/collect"
+	"netsample/internal/core"
+	"netsample/internal/online"
+	"netsample/internal/pipeline"
+	"netsample/internal/store"
+	"netsample/internal/trace"
+)
+
+// TestNSDStoreReplayMatchesLive is the durable-store acceptance pin:
+// run nsd with -store over a windowed trace, reopen the store cold, and
+// require the replayed snapshot records to be bit-identical to the wire
+// payloads an in-process pipeline run of the same configuration exports
+// live. Then flip one byte in a sealed segment and require Verify to
+// name the damaged segment and offset.
+func TestNSDStoreReplayMatchesLive(t *testing.T) {
+	dir := buildTools(t, "tracegen", "nsd", "nocquery")
+	trPath := filepath.Join(t.TempDir(), "t.nstr")
+	run(t, filepath.Join(dir, "tracegen"),
+		"-out", trPath, "-seconds", "30", "-pps", "600", "-seed", "42", "-q")
+
+	// In-process reference: the same pipeline configuration nsd builds
+	// from these flags, capturing each window's exact export payload.
+	f, err := os.Open(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	cfg := pipeline.Config{
+		Shards:        1,
+		WindowUS:      (5 * time.Second).Microseconds(),
+		FlowTimeoutUS: (15 * time.Second).Microseconds(),
+		Policy:        pipeline.Block,
+		NewSampler: func(int) (online.Sampler, error) {
+			return online.NewSystematic(50, 0)
+		},
+	}
+	if cfg.SizeEval, err = core.NewEvaluator(tr, core.TargetSize, bins.PacketSize()); err != nil {
+		t.Fatalf("size evaluator: %v", err)
+	}
+	if cfg.IatEval, err = core.NewEvaluator(tr, core.TargetInterarrival, bins.Interarrival()); err != nil {
+		t.Fatalf("iat evaluator: %v", err)
+	}
+	var want [][]byte
+	cfg.OnSnapshot = func(s *pipeline.Snapshot) {
+		payload, err := collect.EncodeSnapshot(s.Wire("store-node"))
+		if err != nil {
+			t.Errorf("encode reference snapshot: %v", err)
+			return
+		}
+		want = append(want, payload)
+	}
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	if err := p.Run(tr.Replay()); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("reference run produced %d windows, want several", len(want))
+	}
+
+	// Daemon run with persistence: small segments so the store seals
+	// several chain links, tight sync so every snapshot groups quickly.
+	storeDir := filepath.Join(t.TempDir(), "snapstore")
+	run(t, filepath.Join(dir, "nsd"),
+		"-in", trPath, "-method", "systematic", "-k", "50", "-shards", "1",
+		"-window", "5s", "-name", "store-node", "-once", "-q",
+		"-store", storeDir, "-store-segment", "2", "-store-sync", "2")
+
+	// Cold replay must be bit-identical to the live export payloads.
+	r, err := store.OpenReader(storeDir)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	var got [][]byte
+	err = r.Replay(func(rec store.Record) error {
+		if rec.Kind != store.KindSnapshot {
+			t.Errorf("unexpected record kind %d", rec.Kind)
+		}
+		got = append(got, bytes.Clone(rec.Payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("store replayed %d snapshots, live run exported %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("snapshot %d: stored payload differs from live export (%d vs %d bytes)",
+				i, len(got[i]), len(want[i]))
+		}
+	}
+	if err := store.Verify(storeDir); err != nil {
+		t.Fatalf("Verify on pristine store: %v", err)
+	}
+
+	// The on-disk query path answers from the same store.
+	out := run(t, filepath.Join(dir, "nocquery"),
+		"-store", storeDir, "-verify", "-windows", "-top", "5")
+	for _, wantLine := range []string{"store chain verified", "merged", "phi[size]=", "heavy hitters"} {
+		if !strings.Contains(out, wantLine) {
+			t.Fatalf("nocquery output missing %q:\n%s", wantLine, out)
+		}
+	}
+
+	// Flip one byte in the middle of the first sealed segment: Verify
+	// must refuse, naming that segment and a plausible offset.
+	segs := r.Segments()
+	if len(segs) < 2 || !segs[0].Sealed {
+		t.Fatalf("store layout unexpected: %+v", segs)
+	}
+	segPath := filepath.Join(storeDir, segs[0].Name)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Clone(data)
+	mut[len(mut)/2] ^= 0x10
+	if err := os.WriteFile(segPath, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	verr := store.Verify(storeDir)
+	var ce *store.CorruptionError
+	if !errors.As(verr, &ce) {
+		t.Fatalf("Verify after flip = %v, want CorruptionError", verr)
+	}
+	if ce.Segment != segs[0].Name {
+		t.Fatalf("corruption attributed to %s, flipped byte lives in %s", ce.Segment, segs[0].Name)
+	}
+	if ce.Offset < 0 || ce.Offset > int64(len(mut)) {
+		t.Fatalf("corruption offset %d outside segment of %d bytes", ce.Offset, len(mut))
+	}
+}

@@ -78,6 +78,18 @@ type SnapshotSource interface {
 	LatestSnapshot() (*Snapshot, bool)
 }
 
+// EncodeSnapshot serializes a snapshot to its canonical wire payload —
+// byte-for-byte the payload a TypeSnapshot frame carries. Exported for
+// consumers that persist snapshots outside a live wire exchange
+// (internal/store records exactly these bytes, which is what makes a
+// replayed store bit-identical to the live export).
+func EncodeSnapshot(s *Snapshot) ([]byte, error) { return encodeSnapshot(s) }
+
+// DecodeSnapshot parses a canonical snapshot payload produced by
+// EncodeSnapshot (or received in a TypeSnapshot frame), enforcing every
+// length bound.
+func DecodeSnapshot(payload []byte) (*Snapshot, error) { return decodeSnapshot(payload) }
+
 // encodeSnapshot serializes a snapshot payload.
 func encodeSnapshot(s *Snapshot) ([]byte, error) {
 	if len(s.Node) > maxNameLen {

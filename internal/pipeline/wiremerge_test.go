@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"netsample/internal/collect"
+	"netsample/internal/nnstat"
+)
+
+func wireSnap(node string, seq uint64, startUS, endUS int64, bins []uint64, topk ...nnstat.Entry) *collect.Snapshot {
+	return &collect.Snapshot{
+		Node:          node,
+		Seq:           seq,
+		WindowStartUS: startUS,
+		WindowEndUS:   endUS,
+		Shards:        2,
+		Offered:       100,
+		Processed:     90,
+		Selected:      9,
+		Dropped:       10,
+		SizeCounts:    bins,
+		TopK:          topk,
+	}
+}
+
+func TestMergeWireSumsAndSpans(t *testing.T) {
+	a := wireSnap("n1", 3, 0, 1000, []uint64{1, 2, 3},
+		nnstat.Entry{Key: "f1", Count: 10, MaxError: 1},
+		nnstat.Entry{Key: "f2", Count: 5})
+	b := wireSnap("n1", 4, 1000, 2000, []uint64{10, 20, 30},
+		nnstat.Entry{Key: "f2", Count: 7, MaxError: 2},
+		nnstat.Entry{Key: "f3", Count: 4})
+	m, err := MergeWire([]*collect.Snapshot{a, b}, 0)
+	if err != nil {
+		t.Fatalf("MergeWire: %v", err)
+	}
+	if m.Node != "n1" {
+		t.Fatalf("Node = %q, want n1 (all inputs agree)", m.Node)
+	}
+	if m.Seq != 4 || m.WindowStartUS != 0 || m.WindowEndUS != 2000 {
+		t.Fatalf("window meta: seq %d, %d..%d", m.Seq, m.WindowStartUS, m.WindowEndUS)
+	}
+	if m.Offered != 200 || m.Dropped != 20 {
+		t.Fatalf("counters did not sum: %+v", m)
+	}
+	for i, want := range []uint64{11, 22, 33} {
+		if m.SizeCounts[i] != want {
+			t.Fatalf("bin %d = %d, want %d", i, m.SizeCounts[i], want)
+		}
+	}
+	// f2 recurs across both windows: its counts and error bounds sum,
+	// and it outranks f1.
+	want := []nnstat.Entry{
+		{Key: "f2", Count: 12, MaxError: 2},
+		{Key: "f1", Count: 10, MaxError: 1},
+		{Key: "f3", Count: 4},
+	}
+	if len(m.TopK) != len(want) {
+		t.Fatalf("top-k = %+v, want %+v", m.TopK, want)
+	}
+	for i := range want {
+		if m.TopK[i] != want[i] {
+			t.Fatalf("top-k[%d] = %+v, want %+v", i, m.TopK[i], want[i])
+		}
+	}
+}
+
+func TestMergeWireNodeAndTruncation(t *testing.T) {
+	var snaps []*collect.Snapshot
+	for i := 0; i < 3; i++ {
+		snaps = append(snaps, wireSnap("node-a", 1, 0, 100, nil,
+			nnstat.Entry{Key: string(rune('a' + i)), Count: uint64(10 - i)}))
+	}
+	snaps[2].Node = "node-b"
+	m, err := MergeWire(snaps, 2)
+	if err != nil {
+		t.Fatalf("MergeWire: %v", err)
+	}
+	if m.Node != "merged" {
+		t.Fatalf("Node = %q, want merged (inputs disagree)", m.Node)
+	}
+	if len(m.TopK) != 2 || m.TopK[0].Key != "a" || m.TopK[1].Key != "b" {
+		t.Fatalf("truncated top-k = %+v", m.TopK)
+	}
+}
+
+func TestMergeWireErrors(t *testing.T) {
+	if _, err := MergeWire(nil, 0); !errors.Is(err, ErrMergeWire) {
+		t.Fatalf("empty merge = %v, want ErrMergeWire", err)
+	}
+	a := wireSnap("n", 1, 0, 1, []uint64{1, 2}, nnstat.Entry{})
+	b := wireSnap("n", 2, 1, 2, []uint64{1, 2, 3}, nnstat.Entry{})
+	if _, err := MergeWire([]*collect.Snapshot{a, b}, 0); !errors.Is(err, ErrMergeWire) {
+		t.Fatalf("bin mismatch = %v, want ErrMergeWire", err)
+	}
+}

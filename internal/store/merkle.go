@@ -1,0 +1,48 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// merkleRoot folds the per-record frame hashes into one root: leaves
+// are paired left-to-right, each parent is sha256(left ‖ right), and an
+// odd node is promoted unchanged to the next level. The tree shape is a
+// pure function of the leaf sequence, so any flipped record byte (which
+// the frame CRC already catches) or any reordered, dropped, or injected
+// record changes the root. Zero leaves yield the zero root — only an
+// empty segment, which the writer never seals.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return [32]byte{}
+	}
+	level := make([][32]byte, len(leaves))
+	copy(level, leaves)
+	var pair [64]byte
+	for len(level) > 1 {
+		half := (len(level) + 1) / 2
+		for i := 0; i < len(level)/2; i++ {
+			copy(pair[:32], level[2*i][:])
+			copy(pair[32:], level[2*i+1][:])
+			level[i] = sha256.Sum256(pair[:])
+		}
+		if len(level)%2 == 1 {
+			level[half-1] = level[len(level)-1]
+		}
+		level = level[:half]
+	}
+	return level[0]
+}
+
+// chainRoot binds a segment's Merkle root to its predecessor and its
+// position: sha256(prevRoot ‖ merkle ‖ seq). The seal footer stores
+// this value and the next segment's header repeats it as prevRoot, so
+// the sealed history forms one hash chain — replacing, reordering, or
+// truncating whole segments breaks the chain at the first divergence.
+func chainRoot(prevRoot, merkle [32]byte, seq uint64) [32]byte {
+	var b [72]byte
+	copy(b[:32], prevRoot[:])
+	copy(b[32:64], merkle[:])
+	binary.LittleEndian.PutUint64(b[64:], seq)
+	return sha256.Sum256(b[:])
+}

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"netsample/internal/collect"
+	"netsample/internal/trace"
+)
+
+// SegmentInfo describes one segment as seen at OpenReader time.
+type SegmentInfo struct {
+	Seq     uint64
+	Name    string
+	Sealed  bool
+	Records uint64
+	FirstUS int64 // min record timestamp (valid when Records > 0)
+	LastUS  int64 // max record timestamp (valid when Records > 0)
+	Root    [32]byte
+}
+
+// Reader answers replay and time-range queries from a store directory.
+// It is a point-in-time view: the segment list and bounds are captured
+// at OpenReader, so records appended afterwards need a fresh Reader.
+// Segment bodies are mapped read-only per query through the shared
+// trace.Mapping lifecycle (PR 7's zero-copy trace path), so a query
+// touches only the pages its records live on.
+//
+// A Reader tolerates exactly what Writer recovery would repair: a torn
+// tail in the last segment is ignored and the valid prefix replays.
+// Structural damage anywhere else is an error — use Verify for the
+// strict full-chain check.
+type Reader struct {
+	dir  string
+	segs []SegmentInfo
+}
+
+// OpenReader scans the directory's segment headers and footers and
+// returns a reader over the durable record sequence.
+func OpenReader(dir string) (*Reader, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{dir: dir}
+	for i, se := range segs {
+		last := i == len(segs)-1
+		info, ok, err := readSegmentInfo(dir, se, last)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			r.segs = append(r.segs, info)
+		}
+	}
+	return r, nil
+}
+
+// Segments returns the segment summaries in chain order.
+func (r *Reader) Segments() []SegmentInfo { return r.segs }
+
+// Bounds returns the min and max record timestamps across the store,
+// ok=false when the store holds no records.
+func (r *Reader) Bounds() (firstUS, lastUS int64, ok bool) {
+	for _, si := range r.segs {
+		if si.Records == 0 {
+			continue
+		}
+		if !ok {
+			firstUS, lastUS, ok = si.FirstUS, si.LastUS, true
+			continue
+		}
+		if si.FirstUS < firstUS {
+			firstUS = si.FirstUS
+		}
+		if si.LastUS > lastUS {
+			lastUS = si.LastUS
+		}
+	}
+	return firstUS, lastUS, ok
+}
+
+// Replay invokes fn for every record in append order. The Record's
+// payload aliases the mapped segment and is valid only inside fn.
+func (r *Reader) Replay(fn func(Record) error) error {
+	return r.Query(math.MinInt64, math.MaxInt64, fn)
+}
+
+// Query invokes fn for every record whose timestamp lies in the
+// inclusive range [fromUS, toUS], in append order. Segments whose
+// sealed bounds fall outside the range are skipped without touching
+// their bodies.
+func (r *Reader) Query(fromUS, toUS int64, fn func(Record) error) error {
+	for _, si := range r.segs {
+		if si.Records == 0 || si.LastUS < fromUS || si.FirstUS > toUS {
+			continue
+		}
+		if err := r.scanOne(si, fromUS, toUS, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanOne maps one segment and streams its in-range records.
+func (r *Reader) scanOne(si SegmentInfo, fromUS, toUS int64, fn func(Record) error) error {
+	m, err := trace.OpenMapping(filepath.Join(r.dir, si.Name))
+	if err != nil {
+		return fmt.Errorf("store: map %s: %w", si.Name, err)
+	}
+	_, serr := scanSegment(si.Name, si.Seq, m.Data(), false, func(rec Record) error {
+		if rec.TimeUS < fromUS || rec.TimeUS > toUS {
+			return nil
+		}
+		return fn(rec)
+	})
+	cerr := m.Close()
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: unmap %s: %w", si.Name, cerr)
+	}
+	return nil
+}
+
+// Snapshots decodes every KindSnapshot record in the inclusive range
+// [fromUS, toUS] (record timestamps are snapshot window ends). The
+// returned snapshots own their memory — nothing aliases the store.
+func (r *Reader) Snapshots(fromUS, toUS int64) ([]*collect.Snapshot, error) {
+	var out []*collect.Snapshot
+	err := r.Query(fromUS, toUS, func(rec Record) error {
+		if rec.Kind != KindSnapshot {
+			return nil
+		}
+		s, err := collect.DecodeSnapshot(rec.Payload)
+		if err != nil {
+			return corruptf(segName(rec.Segment), rec.Offset, "snapshot payload rejected: %v", err)
+		}
+		out = append(out, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readSegmentInfo summarizes one segment. Sealed segments are read
+// header+footer only; the unsealed tail is scanned in full (its bounds
+// live nowhere else). ok=false drops a torn-creation tail (a file too
+// short to hold its header) — it cannot contain a durable record.
+func readSegmentInfo(dir string, se segEntry, last bool) (SegmentInfo, bool, error) {
+	m, err := trace.OpenMapping(filepath.Join(dir, se.name))
+	if err != nil {
+		return SegmentInfo{}, false, fmt.Errorf("store: map %s: %w", se.name, err)
+	}
+	defer m.Close()
+	data := m.Data()
+	if len(data) < headerLen {
+		if last {
+			return SegmentInfo{}, false, nil
+		}
+		return SegmentInfo{}, false, corruptf(se.name, int64(len(data)), "mid-chain segment shorter than its header")
+	}
+	seq, _, err := parseHeader(se.name, data)
+	if err != nil {
+		return SegmentInfo{}, false, err
+	}
+	if seq != se.seq {
+		return SegmentInfo{}, false, corruptf(se.name, 8, "header sequence %d does not match file name", seq)
+	}
+	st, err := scanSegment(se.name, seq, data, false, nil)
+	if err != nil {
+		return SegmentInfo{}, false, err
+	}
+	if st.torn != nil && !last {
+		return SegmentInfo{}, false, st.torn
+	}
+	info := SegmentInfo{
+		Seq:     seq,
+		Name:    se.name,
+		Sealed:  st.sealed,
+		Records: st.records,
+		FirstUS: st.firstUS,
+		LastUS:  st.lastUS,
+	}
+	if st.sealed {
+		info.Root = st.seal.root
+	}
+	if !st.sealed && !last {
+		return SegmentInfo{}, false, corruptf(se.name, int64(len(data)), "unsealed segment before end of chain")
+	}
+	return info, true, nil
+}

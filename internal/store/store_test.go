@@ -1,0 +1,481 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netsample/internal/metrics"
+)
+
+// testPayload renders a deterministic record payload for index i.
+func testPayload(i int) []byte {
+	return []byte(fmt.Sprintf("record-%04d:%s", i, string(rune('a'+i%26))))
+}
+
+// fillStore writes n records through a Writer with small segments so the
+// test store spans several sealed segments plus an unsealed tail.
+func fillStore(t *testing.T, dir string, n int, opts Options) {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(KindSnapshot, int64(1000*(i+1)), testPayload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// replayPayloads replays the whole store into copied payload slices.
+func replayPayloads(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	var got [][]byte
+	err = r.Replay(func(rec Record) error {
+		got = append(got, bytes.Clone(rec.Payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestStoreAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 29
+	fillStore(t, dir, n, Options{SegmentRecords: 8, SyncEvery: 3})
+	got := replayPayloads(t, dir)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, testPayload(i)) {
+			t.Fatalf("record %d: got %q want %q", i, p, testPayload(i))
+		}
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	segs := r.Segments()
+	if len(segs) != 4 { // 8+8+8 sealed + 5-record tail
+		t.Fatalf("got %d segments, want 4: %+v", len(segs), segs)
+	}
+	for i, si := range segs {
+		wantSealed := i < 3
+		if si.Sealed != wantSealed {
+			t.Fatalf("segment %d sealed=%v, want %v", i, si.Sealed, wantSealed)
+		}
+	}
+	first, last, ok := r.Bounds()
+	if !ok || first != 1000 || last != int64(1000*n) {
+		t.Fatalf("Bounds = %d..%d ok=%v, want 1000..%d", first, last, ok, 1000*n)
+	}
+}
+
+func TestStoreQueryRange(t *testing.T) {
+	dir := t.TempDir()
+	fillStore(t, dir, 20, Options{SegmentRecords: 5})
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	// Records carry timestamps 1000, 2000, ..., 20000; the inclusive
+	// range [6000, 12000] holds records 5..11 (0-based).
+	var times []int64
+	err = r.Query(6000, 12000, func(rec Record) error {
+		times = append(times, rec.TimeUS)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(times) != 7 || times[0] != 6000 || times[len(times)-1] != 12000 {
+		t.Fatalf("Query returned %v", times)
+	}
+}
+
+func TestStoreReopenResume(t *testing.T) {
+	dir := t.TempDir()
+	fillStore(t, dir, 10, Options{SegmentRecords: 4})
+	// Second session resumes the unsealed tail (2 records in segment 3).
+	w, err := Open(dir, Options{SegmentRecords: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for i := 10; i < 17; i++ {
+		if err := w.Append(KindSnapshot, int64(1000*(i+1)), testPayload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := replayPayloads(t, dir)
+	if len(got) != 17 {
+		t.Fatalf("replayed %d records, want 17", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, testPayload(i)) {
+			t.Fatalf("record %d: got %q want %q", i, p, testPayload(i))
+		}
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify after resume: %v", err)
+	}
+}
+
+func TestStoreWriterRejects(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := w.Append(kindSeal, 1, nil); err == nil {
+		t.Fatal("Append accepted the reserved seal kind")
+	}
+	if err := w.Append(0, 1, nil); err == nil {
+		t.Fatal("Append accepted kind 0")
+	}
+	if err := w.Append(KindSnapshot, 1, make([]byte, maxRecordPayload+1)); err == nil {
+		t.Fatal("Append accepted an oversized payload")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Append(KindSnapshot, 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestStoreAppendReport(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rep := metrics.Report{ChiSquare: 1.5, Significance: 0.25, Phi: 0.125}
+	if err := w.AppendReport(42, rep); err != nil {
+		t.Fatalf("AppendReport: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	var seen int
+	err = r.Replay(func(rec Record) error {
+		seen++
+		if rec.Kind != KindReport {
+			t.Fatalf("kind = %d, want KindReport", rec.Kind)
+		}
+		got, rest, err := metrics.DecodeReport(rec.Payload)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("DecodeReport: %v (rest %d)", err, len(rest))
+		}
+		if got != rep {
+			t.Fatalf("report round trip: got %+v want %+v", got, rep)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if seen != 1 {
+		t.Fatalf("saw %d records, want 1", seen)
+	}
+}
+
+// TestStoreVerifyDetectsEveryFlippedByte is the acceptance pin: flip
+// each byte of every sealed segment in turn and require Verify to
+// report corruption naming that segment.
+func TestStoreVerifyDetectsEveryFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	fillStore(t, dir, 13, Options{SegmentRecords: 5, SyncEvery: 2})
+	if err := Verify(dir); err != nil {
+		t.Fatalf("pristine Verify: %v", err)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	for _, si := range r.Segments() {
+		if !si.Sealed {
+			continue
+		}
+		path := filepath.Join(dir, si.Name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", si.Name, err)
+		}
+		for off := range data {
+			for _, mask := range []byte{0x01, 0x80} {
+				mut := bytes.Clone(data)
+				mut[off] ^= mask
+				if err := os.WriteFile(path, mut, 0o644); err != nil {
+					t.Fatalf("write mutated %s: %v", si.Name, err)
+				}
+				verr := Verify(dir)
+				if verr == nil {
+					t.Fatalf("%s: flipped bit %#x at offset %d went undetected", si.Name, mask, off)
+				}
+				var ce *CorruptionError
+				if !errors.As(verr, &ce) {
+					t.Fatalf("%s offset %d: Verify error %v is not a CorruptionError", si.Name, off, verr)
+				}
+				if !errors.Is(verr, ErrCorrupt) {
+					t.Fatalf("CorruptionError does not unwrap to ErrCorrupt")
+				}
+				if ce.Segment != si.Name {
+					// A flipped prevRoot byte is attributed to the
+					// segment holding it; any attribution to a real
+					// segment in the chain is acceptable only when the
+					// damage is in a chain field — record damage must
+					// name its own segment.
+					t.Fatalf("%s offset %d: corruption attributed to %s", si.Name, off, ce.Segment)
+				}
+			}
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("restore %s: %v", si.Name, err)
+		}
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("restored Verify: %v", err)
+	}
+}
+
+// TestStoreCrashRecoverySoak kills the writer at every byte offset:
+// because segment files are strictly append-only, every reachable crash
+// state is "files 0..i-1 complete, file i truncated at offset o". For
+// each such state the store must reopen, replay a bit-identical prefix
+// of the original record sequence, accept a fresh append, and verify.
+func TestStoreCrashRecoverySoak(t *testing.T) {
+	ref := t.TempDir()
+	const n = 9
+	fillStore(t, ref, n, Options{SegmentRecords: 4, SyncEvery: 1})
+	refSegs, err := listSegments(ref)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if len(refSegs) != 3 {
+		t.Fatalf("reference store has %d segments, want 3", len(refSegs))
+	}
+	type segImage struct {
+		name string
+		data []byte
+	}
+	var images []segImage
+	// recordsBefore[i] = records fully contained in segments before i.
+	recordsBefore := make([]int, len(refSegs)+1)
+	for i, se := range refSegs {
+		data, err := os.ReadFile(filepath.Join(ref, se.name))
+		if err != nil {
+			t.Fatalf("read %s: %v", se.name, err)
+		}
+		images = append(images, segImage{name: se.name, data: data})
+		st, err := scanSegment(se.name, se.seq, data, false, nil)
+		if err != nil || st.torn != nil {
+			t.Fatalf("scan reference %s: %v / %v", se.name, err, st.torn)
+		}
+		recordsBefore[i+1] = recordsBefore[i] + int(st.records)
+	}
+	if recordsBefore[len(refSegs)] != n {
+		t.Fatalf("reference holds %d records, want %d", recordsBefore[len(refSegs)], n)
+	}
+	states := 0
+	for i, img := range images {
+		for cut := 0; cut <= len(img.data); cut++ {
+			if i == len(images)-1 && cut == len(img.data) {
+				continue // that is the uncrashed store
+			}
+			states++
+			dir := t.TempDir()
+			for j := 0; j < i; j++ {
+				if err := os.WriteFile(filepath.Join(dir, images[j].name), images[j].data, 0o644); err != nil {
+					t.Fatalf("stage %s: %v", images[j].name, err)
+				}
+			}
+			if err := os.WriteFile(filepath.Join(dir, img.name), img.data[:cut], 0o644); err != nil {
+				t.Fatalf("stage truncated %s: %v", img.name, err)
+			}
+
+			w, err := Open(dir, Options{SegmentRecords: 4, SyncEvery: 1})
+			if err != nil {
+				t.Fatalf("seg %d cut %d: recovery Open: %v", i, cut, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("seg %d cut %d: Close: %v", i, cut, err)
+			}
+			got := replayPayloads(t, dir)
+			// Recovery must keep every record from completed segments
+			// and an in-order prefix of the cut segment's records —
+			// bit-identical to the original sequence.
+			if len(got) < recordsBefore[i] || len(got) > recordsBefore[i+1] {
+				t.Fatalf("seg %d cut %d: replayed %d records, want within [%d,%d]",
+					i, cut, len(got), recordsBefore[i], recordsBefore[i+1])
+			}
+			for k, p := range got {
+				if !bytes.Equal(p, testPayload(k)) {
+					t.Fatalf("seg %d cut %d: record %d diverged: got %q want %q",
+						i, cut, k, p, testPayload(k))
+				}
+			}
+			// The recovered store must still accept appends and verify.
+			w2, err := Open(dir, Options{SegmentRecords: 4, SyncEvery: 1})
+			if err != nil {
+				t.Fatalf("seg %d cut %d: second Open: %v", i, cut, err)
+			}
+			if err := w2.Append(KindSnapshot, 1_000_000, []byte("post-crash")); err != nil {
+				t.Fatalf("seg %d cut %d: post-recovery Append: %v", i, cut, err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatalf("seg %d cut %d: second Close: %v", i, cut, err)
+			}
+			if err := Verify(dir); err != nil {
+				t.Fatalf("seg %d cut %d: Verify after recovery: %v", i, cut, err)
+			}
+		}
+	}
+	if states == 0 {
+		t.Fatal("soak exercised no crash states")
+	}
+	t.Logf("soak exercised %d crash states", states)
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	// 20 records, 5 per segment: sealed segments end at 5000, 10000,
+	// 15000, 20000 — the last is kept regardless (tail rule).
+	fillStore(t, dir, 20, Options{SegmentRecords: 5})
+	removed, err := Compact(dir, 10_001)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if removed != 2 {
+		t.Fatalf("Compact removed %d segments, want 2", removed)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify after compact: %v", err)
+	}
+	got := replayPayloads(t, dir)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records after compact, want 10", len(got))
+	}
+	if !bytes.Equal(got[0], testPayload(10)) {
+		t.Fatalf("first surviving record = %q, want %q", got[0], testPayload(10))
+	}
+	// Idempotent: nothing left below the cutoff.
+	removed, err = Compact(dir, 10_001)
+	if err != nil || removed != 0 {
+		t.Fatalf("second Compact = %d, %v; want 0, nil", removed, err)
+	}
+	// The writer chains new segments onto the anchored history.
+	w, err := Open(dir, Options{SegmentRecords: 5})
+	if err != nil {
+		t.Fatalf("Open after compact: %v", err)
+	}
+	for i := 20; i < 26; i++ {
+		if err := w.Append(KindSnapshot, int64(1000*(i+1)), testPayload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify after post-compact appends: %v", err)
+	}
+	if got := replayPayloads(t, dir); len(got) != 16 {
+		t.Fatalf("replayed %d records, want 16", len(got))
+	}
+	// Compacting everything sealed leaves the tail plus the last sealed
+	// segment, anchored.
+	removed, err = Compact(dir, 1<<60)
+	if err != nil {
+		t.Fatalf("full Compact: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("full Compact removed nothing")
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify after full compact: %v", err)
+	}
+}
+
+// TestStoreAppendAllocs pins the hot append path at (amortized) zero
+// allocations: the frame buffer and leaf slice retain capacity, so
+// steady-state appends only pay for occasional growth.
+func TestStoreAppendAllocs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentRecords: 1 << 20, SyncEvery: 64, SyncWindowUS: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	payload := make([]byte, metrics.ReportWireSize)
+	var clock int64
+	// Warm-up grows buf and leaves to steady-state capacity.
+	for i := 0; i < 2048; i++ {
+		clock++
+		if err := w.Append(KindReport, clock, payload); err != nil {
+			t.Fatalf("warm-up Append: %v", err)
+		}
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		clock++
+		if err := w.Append(KindReport, clock, payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("Append allocates %.2f objects/op, want amortized ~0", avg)
+	}
+}
+
+func TestStoreTornCreationRemoved(t *testing.T) {
+	dir := t.TempDir()
+	fillStore(t, dir, 4, Options{SegmentRecords: 4}) // one sealed segment
+	// Simulate a crash during the next segment's creation: header half
+	// written.
+	husk := filepath.Join(dir, segName(2))
+	if err := os.WriteFile(husk, []byte("NSSG"), 0o644); err != nil {
+		t.Fatalf("stage husk: %v", err)
+	}
+	w, err := Open(dir, Options{SegmentRecords: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := w.Append(KindSnapshot, 99_000, testPayload(4)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := replayPayloads(t, dir); len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(got))
+	}
+}

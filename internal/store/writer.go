@@ -1,0 +1,513 @@
+package store
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"netsample/internal/collect"
+	"netsample/internal/metrics"
+)
+
+// Write-path defaults.
+const (
+	// DefaultSyncEvery is the group-commit batch: one fsync absorbs this
+	// many appends.
+	DefaultSyncEvery = 64
+	// DefaultSyncWindowUS bounds how far the virtual clock may advance
+	// past the last synced record before an fsync is forced, so a slow
+	// trickle of snapshots still reaches disk once per (virtual) second.
+	DefaultSyncWindowUS = 1_000_000
+	// DefaultSegmentRecords is the seal-and-rotate threshold.
+	DefaultSegmentRecords = 1024
+)
+
+// Options tune the write path. Zero values select the defaults above.
+type Options struct {
+	// SyncEvery batches fsyncs: the file is flushed and synced once per
+	// this many appends. 1 syncs every append.
+	SyncEvery int
+	// SyncWindowUS also forces a sync when a record's virtual-clock
+	// timestamp is at least this far past the last synced record.
+	// Negative disables the clock trigger entirely.
+	SyncWindowUS int64
+	// SegmentRecords seals the active segment and rotates to the next
+	// once it holds this many records.
+	SegmentRecords int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.SyncWindowUS == 0 {
+		o.SyncWindowUS = DefaultSyncWindowUS
+	}
+	if o.SegmentRecords <= 0 {
+		o.SegmentRecords = DefaultSegmentRecords
+	}
+	return o
+}
+
+// Writer appends records to a store directory. Appends accumulate in an
+// in-memory frame buffer that is flushed and fsynced as a group — after
+// Options.SyncEvery appends or when the virtual clock advances past
+// Options.SyncWindowUS — so the fsync cost amortizes over the batch
+// (the group-commit pattern of audit-log batchers). A record is durable
+// once the sync that covers it returns; a crash loses at most the
+// un-synced suffix, which recovery truncates as a torn tail.
+//
+// Writer is safe for concurrent use; one mutex serializes appends. A
+// directory must have at most one live Writer (segment files are
+// created O_EXCL, so a second writer fails fast on rotation).
+type Writer struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	closed bool
+
+	f    *os.File // active (unsealed) segment; nil until first append
+	name string   // active segment file name
+
+	seq      uint64   // active (or next) segment sequence
+	prevRoot [32]byte // chain root of the last sealed segment (or anchor)
+
+	buf     []byte     // frames appended since the last flush
+	leaves  [][32]byte // frame hashes of the active segment's records
+	records uint64
+	firstUS int64 // min record time in the active segment
+	lastUS  int64 // max record time in the active segment
+
+	pending    int   // appends since the last sync
+	syncedUS   int64 // virtual clock at the last sync
+	haveSyncUS bool
+}
+
+// Open opens (creating if needed) the store directory for appending,
+// recovering from any crash state first:
+//
+//   - every segment but the last must be sealed and structurally intact
+//     (header + seal footer), or Open refuses with a CorruptionError;
+//   - a last segment shorter than its 64-byte header is a torn creation
+//     — it can hold no records, so it is removed;
+//   - a torn tail record in the last segment (truncated frame, CRC
+//     mismatch, bytes after a seal) is truncated back to the last valid
+//     frame boundary — never silently accepted;
+//   - a last segment whose seal footer survived intact is closed, and
+//     the writer continues the chain in a fresh segment.
+//
+// The recovered writer resumes exactly where the durable prefix ended:
+// a reopened store replays bit-identically to what was synced.
+func Open(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	w := &Writer{dir: dir, opts: opts.withDefaults(), seq: 1}
+	anchor, hasAnchor, err := readAnchor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if hasAnchor {
+		w.seq = anchor.seq + 1
+		w.prevRoot = anchor.root
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, se := range segs {
+		if se.seq != w.seq {
+			return nil, corruptf(se.name, 8, "segment sequence %d, chain expects %d", se.seq, w.seq)
+		}
+		if i < len(segs)-1 {
+			seal, err := readSealedLight(dir, se, w.prevRoot)
+			if err != nil {
+				return nil, err
+			}
+			w.prevRoot = seal.root
+			w.seq++
+			continue
+		}
+		if err := w.recoverTail(se); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// recoverTail applies the torn-tail recovery rules to the last segment
+// and leaves the writer positioned to continue.
+func (w *Writer) recoverTail(se segEntry) error {
+	path := filepath.Join(w.dir, se.name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: recover %s: %w", se.name, err)
+	}
+	if len(data) < headerLen {
+		// Torn creation: the header never fully reached disk, so no
+		// record was ever appended, let alone synced. Remove the husk
+		// and let the next append recreate the segment.
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("store: recover %s: %w", se.name, err)
+		}
+		return syncDir(w.dir)
+	}
+	seq, prevRoot, err := parseHeader(se.name, data)
+	if err != nil {
+		return err
+	}
+	if seq != se.seq {
+		return corruptf(se.name, 8, "header sequence %d does not match file name", seq)
+	}
+	if prevRoot != w.prevRoot {
+		return corruptf(se.name, 16, "chain broken: header prevRoot does not match predecessor root")
+	}
+	st, err := scanSegment(se.name, seq, data, true, nil)
+	if err != nil {
+		return err
+	}
+	if st.torn != nil {
+		// Torn tail: drop the damaged suffix, keep every intact record.
+		if err := os.Truncate(path, st.validLen); err != nil {
+			return fmt.Errorf("store: truncate torn tail of %s: %w", se.name, err)
+		}
+	}
+	if st.sealed {
+		// The seal survived: verify it still matches its records, then
+		// continue the chain in the next segment.
+		root := chainRoot(w.prevRoot, merkleRoot(st.leaves), seq)
+		if root != st.seal.root {
+			return corruptf(se.name, st.sealOff, "seal root does not match records")
+		}
+		w.prevRoot = root
+		w.seq = seq + 1
+		return nil
+	}
+	// Resume appending to the unsealed tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("store: reopen %s: %w", se.name, err)
+	}
+	if st.torn != nil {
+		// Make the truncation durable before anything is appended after
+		// the cut point.
+		if err := f.Sync(); err != nil {
+			cerr := f.Close()
+			return errors.Join(fmt.Errorf("store: sync truncated %s: %w", se.name, err), cerr)
+		}
+	}
+	w.f = f
+	w.name = se.name
+	w.seq = seq
+	w.leaves = st.leaves
+	w.records = st.records
+	w.firstUS = st.firstUS
+	w.lastUS = st.lastUS
+	w.syncedUS = st.lastUS
+	w.haveSyncUS = st.records > 0
+	return nil
+}
+
+// Append adds one record. kind must be a data kind (KindSnapshot,
+// KindReport, or an application kind below 0xFF); timeUS is the
+// record's virtual-clock timestamp, by which queries filter. The record
+// is durable once the covering group sync has run (see Writer).
+//
+//nslint:hotpath
+func (w *Writer) Append(kind uint8, timeUS int64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if kind == kindSeal || kind == 0 {
+		//nslint:allow hotalloc error path: rejected before any state changes
+		return fmt.Errorf("store: reserved record kind %#x", kind)
+	}
+	if len(payload) > maxRecordPayload {
+		//nslint:allow hotalloc error path: rejected before any state changes
+		return fmt.Errorf("store: record payload %d exceeds limit %d", len(payload), maxRecordPayload)
+	}
+	if w.f == nil {
+		if err := w.create(); err != nil {
+			return err
+		}
+	}
+	start := len(w.buf)
+	w.buf = appendFrame(w.buf, kind, timeUS, payload)
+	//nslint:allow hotalloc amortized: leaf slice retains capacity across segments (reset by re-slicing at seal)
+	w.leaves = append(w.leaves, sha256.Sum256(w.buf[start:]))
+	if w.records == 0 {
+		w.firstUS, w.lastUS = timeUS, timeUS
+	} else if timeUS < w.firstUS {
+		w.firstUS = timeUS
+	} else if timeUS > w.lastUS {
+		w.lastUS = timeUS
+	}
+	w.records++
+	w.pending++
+	if !w.haveSyncUS {
+		w.syncedUS, w.haveSyncUS = timeUS, true
+	}
+	if w.pending >= w.opts.SyncEvery ||
+		(w.opts.SyncWindowUS > 0 && timeUS-w.syncedUS >= w.opts.SyncWindowUS) {
+		if err := w.flushSync(); err != nil {
+			return err
+		}
+	}
+	if w.records >= uint64(w.opts.SegmentRecords) {
+		return w.sealLocked()
+	}
+	return nil
+}
+
+// AppendSnapshot encodes s to its canonical wire payload and appends it
+// as a KindSnapshot record stamped with the snapshot's window end —
+// byte-for-byte the payload a live TypeSnapshot frame would carry, which
+// is what makes a replayed store bit-identical to the live export.
+func (w *Writer) AppendSnapshot(s *collect.Snapshot) error {
+	payload, err := collect.EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	return w.Append(KindSnapshot, s.WindowEndUS, payload)
+}
+
+// AppendReport appends one 56-byte metrics.Report wire encoding as a
+// KindReport record.
+func (w *Writer) AppendReport(timeUS int64, r metrics.Report) error {
+	var buf [metrics.ReportWireSize]byte
+	return w.Append(KindReport, timeUS, metrics.AppendReport(buf[:0], r))
+}
+
+// Sync forces the pending group to disk immediately.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.f == nil {
+		return nil
+	}
+	return w.flushSync()
+}
+
+// Seal closes the active segment now: it writes the Merkle seal footer,
+// syncs, and rotates so the next append opens a fresh segment. A
+// segment with no records is not sealed (the chain carries no empty
+// links).
+func (w *Writer) Seal() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.sealLocked()
+}
+
+// Close flushes and syncs pending records and releases the active
+// segment without sealing it, so a reopened Writer resumes appending to
+// the same segment. Closing twice is safe.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	err := w.flushSync()
+	cerr := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: close %s: %w", w.name, cerr)
+	}
+	return nil
+}
+
+// create opens the next segment file with its header written and
+// synced, so the chain link (prevRoot) is durable before any record.
+//
+//nslint:coldpath runs once per segment; its allocations amortize over the segment's records
+func (w *Writer) create() error {
+	name := segName(w.seq)
+	path := filepath.Join(w.dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	hdr := appendHeader(nil, w.seq, w.prevRoot)
+	if _, err := f.Write(hdr); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("store: write header %s: %w", name, err), cerr)
+	}
+	if err := f.Sync(); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("store: sync header %s: %w", name, err), cerr)
+	}
+	if err := syncDir(w.dir); err != nil {
+		cerr := f.Close()
+		return errors.Join(err, cerr)
+	}
+	w.f = f
+	w.name = name
+	w.buf = w.buf[:0]
+	w.leaves = w.leaves[:0]
+	w.records = 0
+	w.firstUS, w.lastUS = 0, 0
+	w.pending = 0
+	w.haveSyncUS = false
+	return nil
+}
+
+// sealLocked writes the seal footer for the active segment, syncs, and
+// rotates. No-op without an active segment or records.
+//
+//nslint:coldpath runs once per segment; its allocations amortize over the segment's records
+func (w *Writer) sealLocked() error {
+	if w.f == nil || w.records == 0 {
+		return nil
+	}
+	root := chainRoot(w.prevRoot, merkleRoot(w.leaves), w.seq)
+	seal := sealInfo{records: w.records, firstUS: w.firstUS, lastUS: w.lastUS, root: root}
+	var payload [sealLen]byte
+	w.buf = appendFrame(w.buf, kindSeal, w.lastUS, appendSealPayload(payload[:0], seal))
+	if err := w.flushSync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: close sealed %s: %w", w.name, err)
+	}
+	w.f = nil
+	w.prevRoot = root
+	w.seq++
+	w.leaves = w.leaves[:0]
+	w.records = 0
+	return nil
+}
+
+// flushSync writes the buffered frames and fsyncs the segment — one
+// group commit.
+//
+//nslint:coldpath runs once per sync group; its cost amortizes over SyncEvery appends
+func (w *Writer) flushSync() error {
+	if len(w.buf) > 0 {
+		if _, err := w.f.Write(w.buf); err != nil {
+			return fmt.Errorf("store: write %s: %w", w.name, err)
+		}
+		w.buf = w.buf[:0]
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", w.name, err)
+	}
+	w.pending = 0
+	w.syncedUS = w.lastUS
+	return nil
+}
+
+// segEntry is one segment file found by listSegments.
+type segEntry struct {
+	seq  uint64
+	name string
+}
+
+// listSegments enumerates the directory's segment files in sequence
+// order.
+func listSegments(dir string) ([]segEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", dir, err)
+	}
+	var segs []segEntry
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) != len("seg-00000000.nss") ||
+			!strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".nss") {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[4:12], 10, 64)
+		if err != nil || name != segName(seq) {
+			continue
+		}
+		segs = append(segs, segEntry{seq: seq, name: name})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// readSealedLight validates a mid-chain segment without reading its
+// record body: the header must parse, carry the expected prevRoot, and
+// the file must end in an intact seal footer. (Record bodies are
+// checked by Verify; Open only needs the chain links.)
+func readSealedLight(dir string, se segEntry, wantPrev [32]byte) (sealInfo, error) {
+	path := filepath.Join(dir, se.name)
+	f, err := os.Open(path)
+	if err != nil {
+		return sealInfo{}, fmt.Errorf("store: open %s: %w", se.name, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return sealInfo{}, fmt.Errorf("store: stat %s: %w", se.name, err)
+	}
+	if st.Size() < headerLen+sealFrameLen {
+		return sealInfo{}, corruptf(se.name, st.Size(), "mid-chain segment too short to be sealed")
+	}
+	var hdr [headerLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return sealInfo{}, fmt.Errorf("store: read header %s: %w", se.name, err)
+	}
+	seq, prevRoot, err := parseHeader(se.name, hdr[:])
+	if err != nil {
+		return sealInfo{}, err
+	}
+	if seq != se.seq {
+		return sealInfo{}, corruptf(se.name, 8, "header sequence %d does not match file name", seq)
+	}
+	if prevRoot != wantPrev {
+		return sealInfo{}, corruptf(se.name, 16, "chain broken: header prevRoot does not match predecessor root")
+	}
+	var foot [sealFrameLen]byte
+	footOff := st.Size() - sealFrameLen
+	if _, err := f.ReadAt(foot[:], footOff); err != nil {
+		return sealInfo{}, fmt.Errorf("store: read footer %s: %w", se.name, err)
+	}
+	fst, err := scanSegment(se.name, seq, append(appendHeader(nil, seq, prevRoot), foot[:]...), false, nil)
+	if err != nil {
+		return sealInfo{}, err
+	}
+	if !fst.sealed || fst.torn != nil {
+		return sealInfo{}, corruptf(se.name, footOff, "mid-chain segment has no intact seal footer")
+	}
+	return fst.seal, nil
+}
+
+// syncDir fsyncs the store directory, making segment creation, removal,
+// and renames durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("store: sync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: close dir: %w", cerr)
+	}
+	return nil
+}

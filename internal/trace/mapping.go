@@ -1,0 +1,43 @@
+package trace
+
+// Mapping is a read-only byte region backed by a memory-mapped file
+// (mmap on Linux, a whole-file read elsewhere), factored out of
+// MapReader so other on-disk readers — internal/store's segment reader
+// in particular — share one open/close lifecycle instead of each
+// reimplementing the unmap bookkeeping.
+//
+// The contract mirrors MapReader's aliasing rules: Data aliases the
+// mapped region and every slice derived from it dies with Close. A
+// failed OpenMapping never leaves a mapping behind, and Close is
+// idempotent — the second and later calls are no-ops, so a deferred
+// Close stacked on an explicit one can never double-unmap.
+type Mapping struct {
+	data    []byte
+	release func() error
+}
+
+// OpenMapping maps path read-only. On any error no mapping exists and
+// there is nothing to Close.
+func OpenMapping(path string) (*Mapping, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, release: release}, nil
+}
+
+// Data returns the mapped region. It is nil after Close (and for an
+// empty file, which maps to an empty region).
+func (m *Mapping) Data() []byte { return m.data }
+
+// Close unmaps the region and severs Data. Safe to call more than once;
+// only the first call releases the mapping.
+func (m *Mapping) Close() error {
+	m.data = nil
+	release := m.release
+	m.release = nil
+	if release == nil {
+		return nil
+	}
+	return release()
+}

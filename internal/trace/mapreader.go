@@ -36,21 +36,19 @@ type MapReader struct {
 // file read on platforms without mmap) and validates its header. The
 // caller owns the returned reader and must Close it to unmap.
 func OpenMap(path string) (*MapReader, error) {
-	data, release, err := mapFile(path)
+	mapping, err := OpenMapping(path)
 	if err != nil {
 		return nil, err
 	}
-	m, err := NewMapReaderBytes(data)
+	m, err := NewMapReaderBytes(mapping.Data())
 	if err != nil {
-		if release != nil {
-			// The header error is the one worth reporting; an unmap failure
-			// on this abandoned mapping has no caller-visible effect.
-			//nslint:allow errdrop header validation failed; the munmap error would mask the real cause
-			release()
-		}
+		// The header error is the one worth reporting; an unmap failure
+		// on this abandoned mapping has no caller-visible effect.
+		//nslint:allow errdrop header validation failed; the munmap error would mask the real cause
+		mapping.Close()
 		return nil, err
 	}
-	m.release = release
+	m.release = mapping.Close
 	return m, nil
 }
 

@@ -132,6 +132,10 @@ func TestHotClosureCoversAllocPinnedPaths(t *testing.T) {
 		"(*" + mp + "/internal/bins.Edged).IndexBatch",
 		// TestGenerateAllocs: the generator's per-flow/per-packet loop.
 		mp + "/internal/traffgen.appendFlows",
+		// TestStoreAppendAllocs: the durable store's per-record append
+		// path (frame encode + leaf hash; sync/seal are cold).
+		"(*" + mp + "/internal/store.Writer).Append",
+		mp + "/internal/store.appendFrame",
 		// TestReplicationScoringZeroAllocs: the fused scoring visit.
 		"(*" + mp + "/internal/core.Scorer).Visit",
 	}
