@@ -12,11 +12,26 @@ type Delta struct {
 	// Name is the benchmark's full name including the -N GOMAXPROCS
 	// suffix, so the same benchmark at different -cpu counts diffs as
 	// distinct series.
-	Name  string
+	Name string
+	// Procs is the GOMAXPROCS the benchmark ran at (1 when unsuffixed),
+	// grouping the per-procs geomeans.
+	Procs int
 	OldNs float64
 	NewNs float64
 	// Ratio is NewNs/OldNs: 1.10 means 10% slower, 0.90 means 10%
 	// faster.
+	Ratio float64
+}
+
+// ProcsGeomean is the geometric-mean ratio of the deltas at one
+// GOMAXPROCS value. Scaling-curve suites (-cpu 1,2,4) regress at one
+// procs count while improving at another; a single suite-wide geomean
+// averages that away, so the per-procs grouping is what trend and gate
+// decisions should read.
+type ProcsGeomean struct {
+	Procs int
+	// N is the number of deltas at this procs value.
+	N     int
 	Ratio float64
 }
 
@@ -29,9 +44,11 @@ type Comparison struct {
 	// OnlyOld and OnlyNew list benchmarks present in just one file.
 	OnlyOld []string
 	OnlyNew []string
-	// GeomeanRatio is the geometric mean of the ratios — the suite-wide
+	// GeomeanRatio is the geometric mean of all ratios — the suite-wide
 	// slowdown factor. 1.0 when Deltas is empty.
 	GeomeanRatio float64
+	// ByProcs holds the geomean per GOMAXPROCS value, ascending.
+	ByProcs []ProcsGeomean
 }
 
 // Compare diffs the current run against a baseline. Benchmarks are
@@ -49,6 +66,8 @@ func Compare(old, cur *File) Comparison {
 	}
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	var logSum float64
+	procsLog := make(map[int]float64)
+	procsN := make(map[int]int)
 	for i := range cur.Benchmarks {
 		b := &cur.Benchmarks[i]
 		name := b.FullName()
@@ -64,9 +83,15 @@ func Compare(old, cur *File) Comparison {
 		if o <= 0 || b.NsPerOp <= 0 {
 			continue
 		}
-		d := Delta{Name: name, OldNs: o, NewNs: b.NsPerOp, Ratio: b.NsPerOp / o}
+		procs := b.Procs
+		if procs < 1 {
+			procs = 1
+		}
+		d := Delta{Name: name, Procs: procs, OldNs: o, NewNs: b.NsPerOp, Ratio: b.NsPerOp / o}
 		c.Deltas = append(c.Deltas, d)
 		logSum += math.Log(d.Ratio)
+		procsLog[procs] += math.Log(d.Ratio)
+		procsN[procs]++
 	}
 	for i := range old.Benchmarks {
 		name := old.Benchmarks[i].FullName()
@@ -87,6 +112,14 @@ func Compare(old, cur *File) Comparison {
 	if len(c.Deltas) > 0 {
 		c.GeomeanRatio = math.Exp(logSum / float64(len(c.Deltas)))
 	}
+	for procs, n := range procsN {
+		c.ByProcs = append(c.ByProcs, ProcsGeomean{
+			Procs: procs,
+			N:     n,
+			Ratio: math.Exp(procsLog[procs] / float64(n)),
+		})
+	}
+	sort.Slice(c.ByProcs, func(i, j int) bool { return c.ByProcs[i].Procs < c.ByProcs[j].Procs })
 	return c
 }
 
@@ -120,6 +153,15 @@ func (c Comparison) Format(tolerance float64) string {
 	}
 	for _, n := range c.OnlyOld {
 		fmt.Fprintf(&sb, "%-44s %14s %14s\n", n, "-", "(removed)")
+	}
+	// A scaling-curve suite mixes GOMAXPROCS variants of the same
+	// benchmark; the per-procs geomeans keep a regression at one procs
+	// count from being averaged away by an improvement at another.
+	if len(c.ByProcs) > 1 {
+		for _, g := range c.ByProcs {
+			fmt.Fprintf(&sb, "geomean ratio at procs=%d over %d benchmarks: %.3fx\n",
+				g.Procs, g.N, g.Ratio)
+		}
 	}
 	fmt.Fprintf(&sb, "geomean ratio over %d benchmarks: %.3fx (tolerance %.2fx)\n",
 		len(c.Deltas), c.GeomeanRatio, tolerance)

@@ -55,6 +55,14 @@ func TestCompare(t *testing.T) {
 	if !strings.Contains(out, "<< regression") || !strings.Contains(out, "BenchmarkNew") {
 		t.Errorf("Format output missing sections:\n%s", out)
 	}
+	// Single-procs suites collapse to one group and skip the per-procs
+	// lines — the overall geomean already says everything.
+	if len(c.ByProcs) != 1 || c.ByProcs[0].Procs != 1 || c.ByProcs[0].N != 2 {
+		t.Errorf("ByProcs = %+v, want one procs=1 group of 2", c.ByProcs)
+	}
+	if strings.Contains(out, "at procs=") {
+		t.Errorf("single-procs Format printed per-procs lines:\n%s", out)
+	}
 }
 
 // TestComparePairsByProcs checks -cpu series pair suffix-for-suffix:
@@ -81,6 +89,23 @@ func TestComparePairsByProcs(t *testing.T) {
 	if r := byName["BenchmarkPipe-4"]; math.Abs(r-0.25) > 1e-12 {
 		t.Errorf("Procs=4 ratio = %v, want 0.25", r)
 	}
+	// The geomean is grouped per procs value, so the procs=4 regression
+	// in a scaling curve is never averaged against the procs=1 result.
+	if len(c.ByProcs) != 2 {
+		t.Fatalf("ByProcs = %+v, want 2 groups", c.ByProcs)
+	}
+	if g := c.ByProcs[0]; g.Procs != 1 || g.N != 1 || math.Abs(g.Ratio-1.1) > 1e-12 {
+		t.Errorf("ByProcs[0] = %+v, want procs=1 ratio 1.1", g)
+	}
+	if g := c.ByProcs[1]; g.Procs != 4 || g.N != 1 || math.Abs(g.Ratio-0.25) > 1e-12 {
+		t.Errorf("ByProcs[1] = %+v, want procs=4 ratio 0.25", g)
+	}
+	out := c.Format(1.25)
+	if !strings.Contains(out, "geomean ratio at procs=1") ||
+		!strings.Contains(out, "geomean ratio at procs=4") {
+		t.Errorf("Format missing per-procs geomeans:\n%s", out)
+	}
+
 	// A -cpu count present on only one side is reported, not paired.
 	c = Compare(mk(100, 400), &File{Benchmarks: []Benchmark{
 		{Name: "BenchmarkPipe", Procs: 1, NsPerOp: 100},

@@ -1,0 +1,384 @@
+// Package cputopo discovers the machine's CPU and cache topology from
+// the Linux sysfs tree (/sys/devices/system/cpu) and turns it into a
+// thread-placement plan for the pipeline's fan-out DAG: which logical
+// CPUs share a last-level cache (so an SPSC ring's producer/consumer
+// pair can be kept within one LLC domain), which are SMT siblings of
+// the same physical core (filled last), and how large the LLC is (so
+// ring depths can be sized as a fraction of it).
+//
+// Detection is strictly best-effort: on non-Linux systems, inside
+// containers that mask sysfs, or against a malformed tree, Detect
+// degrades to a flat single-domain topology derived from
+// runtime.NumCPU and never returns an error — a pipeline configured
+// with pinning must run correctly everywhere, it just stops benefiting
+// from placement. Pinning itself (sched_setaffinity, pin_linux.go) is
+// equally best-effort: failures are counted, never fatal, because
+// cgroup cpusets on containerized runners routinely forbid it.
+package cputopo
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrUnsupported reports that thread pinning is not available on this
+// platform.
+var ErrUnsupported = errors.New("cputopo: thread affinity unsupported on this platform")
+
+// CPU describes one online logical CPU.
+type CPU struct {
+	// ID is the logical CPU number (the N of /sys/.../cpuN).
+	ID int
+	// Package is the physical socket id.
+	Package int
+	// Core is the physical core id within the package.
+	Core int
+	// LLC indexes Topology.LLCs, the last-level-cache domain this CPU
+	// belongs to.
+	LLC int
+	// SMT is true for the second and later hyperthreads of a physical
+	// core — the placement plan fills physical cores first.
+	SMT bool
+}
+
+// Topology is the detected machine layout.
+type Topology struct {
+	// CPUs lists the online logical CPUs in ID order.
+	CPUs []CPU
+	// LLCs groups CPU IDs by shared last-level cache, each group in ID
+	// order. Always non-empty: an undetectable cache layout degrades to
+	// one domain holding every CPU.
+	LLCs [][]int
+	// LLCBytes is the size of one last-level cache, or 0 if unknown.
+	LLCBytes int64
+	// Source records where the topology came from: "sysfs" or
+	// "fallback".
+	Source string
+}
+
+const sysfsRoot = "/sys/devices/system/cpu"
+
+// Detect reads the host topology. It never fails: any sysfs problem
+// degrades to Fallback.
+func Detect() *Topology {
+	t, err := DetectRoot(sysfsRoot)
+	if err != nil {
+		return Fallback()
+	}
+	return t
+}
+
+// Fallback is the portable degraded topology: runtime.NumCPU logical
+// CPUs in one LLC domain, cache size unknown.
+func Fallback() *Topology {
+	n := runtime.NumCPU()
+	t := &Topology{Source: "fallback"}
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		t.CPUs = append(t.CPUs, CPU{ID: i, Core: i})
+		ids[i] = i
+	}
+	t.LLCs = [][]int{ids}
+	return t
+}
+
+// DetectRoot parses a sysfs cpu tree rooted at root. Split from Detect
+// so tests can run it against checked-in fixture trees. Unreadable
+// per-CPU attributes degrade field by field; only an unusable online
+// list is an error (Detect then falls back).
+func DetectRoot(root string) (*Topology, error) {
+	online, err := os.ReadFile(filepath.Join(root, "online"))
+	if err != nil {
+		return nil, err
+	}
+	ids, err := parseCPUList(strings.TrimSpace(string(online)))
+	if err != nil {
+		return nil, fmt.Errorf("cputopo: parse %s/online: %w", root, err)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cputopo: %s/online lists no CPUs", root)
+	}
+	t := &Topology{Source: "sysfs"}
+	llcOf := make(map[string]int) // shared_cpu_list -> LLC index
+	for _, id := range ids {
+		cdir := filepath.Join(root, fmt.Sprintf("cpu%d", id))
+		c := CPU{
+			ID:      id,
+			Package: readInt(filepath.Join(cdir, "topology", "physical_package_id"), 0),
+			Core:    readInt(filepath.Join(cdir, "topology", "core_id"), id),
+			LLC:     -1,
+		}
+		shared, size := lastLevelCache(cdir)
+		if shared != "" {
+			idx, ok := llcOf[shared]
+			if !ok {
+				group, gerr := parseCPUList(shared)
+				if gerr == nil && len(group) > 0 {
+					idx = len(t.LLCs)
+					llcOf[shared] = idx
+					t.LLCs = append(t.LLCs, group)
+					ok = true
+				}
+			}
+			if ok {
+				c.LLC = idx
+				if size > t.LLCBytes {
+					t.LLCBytes = size
+				}
+			}
+		}
+		t.CPUs = append(t.CPUs, c)
+	}
+	// Degrade an undetectable (or partially detectable) cache layout to
+	// one domain covering everything, keeping LLCs a partition.
+	grouped := 0
+	for _, g := range t.LLCs {
+		grouped += len(g)
+	}
+	if grouped != len(t.CPUs) {
+		all := append([]int(nil), ids...)
+		t.LLCs = [][]int{all}
+		t.LLCBytes = 0
+		for i := range t.CPUs {
+			t.CPUs[i].LLC = 0
+		}
+	}
+	// Mark SMT siblings: every CPU after the first of a (package, core)
+	// pair. IDs were walked in order, so the first is the lowest ID.
+	seen := make(map[[2]int]bool)
+	for i := range t.CPUs {
+		key := [2]int{t.CPUs[i].Package, t.CPUs[i].Core}
+		if seen[key] {
+			t.CPUs[i].SMT = true
+		}
+		seen[key] = true
+	}
+	return t, nil
+}
+
+// lastLevelCache scans cpuN/cache/index* for the highest-level unified
+// (or data) cache, returning its shared_cpu_list and size in bytes
+// ("" / 0 if none is readable).
+func lastLevelCache(cdir string) (shared string, size int64) {
+	best := -1
+	for i := 0; i < 10; i++ {
+		idir := filepath.Join(cdir, "cache", fmt.Sprintf("index%d", i))
+		typ, err := os.ReadFile(filepath.Join(idir, "type"))
+		if err != nil {
+			continue
+		}
+		switch strings.TrimSpace(string(typ)) {
+		case "Unified", "Data":
+		default:
+			continue
+		}
+		level := readInt(filepath.Join(idir, "level"), -1)
+		if level <= best {
+			continue
+		}
+		list, err := os.ReadFile(filepath.Join(idir, "shared_cpu_list"))
+		if err != nil {
+			continue
+		}
+		best = level
+		shared = strings.TrimSpace(string(list))
+		size = parseSize(readString(filepath.Join(idir, "size")))
+	}
+	return shared, size
+}
+
+// Summary renders a one-line human-readable description for
+// `nsd -topology`.
+func (t *Topology) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d CPUs, %d LLC domain(s)", len(t.CPUs), len(t.LLCs))
+	for _, g := range t.LLCs {
+		fmt.Fprintf(&b, " [%s]", formatCPUList(g))
+	}
+	if t.LLCBytes > 0 {
+		fmt.Fprintf(&b, ", LLC %d KiB", t.LLCBytes/1024)
+	}
+	smt := 0
+	for _, c := range t.CPUs {
+		if c.SMT {
+			smt++
+		}
+	}
+	if smt > 0 {
+		fmt.Fprintf(&b, ", %d SMT siblings", smt)
+	}
+	fmt.Fprintf(&b, ", source %s", t.Source)
+	return b.String()
+}
+
+// Placement assigns pipeline roles to logical CPU IDs; -1 leaves a
+// role unpinned.
+type Placement struct {
+	Reader int
+	Ingest []int
+	Shards []int
+}
+
+// Plan places one reader, `workers` ingest workers, and `shards` shard
+// workers onto the topology. Policy: walk LLC domains in order, within
+// each domain physical cores before SMT siblings, assigning
+// reader → ingest workers → shards consecutively — so a pipeline that
+// fits in one LLC domain lands entirely inside it (every SPSC
+// producer/consumer pair shares the LLC), and a larger one spills to
+// the next domain only when the current one is full. When roles
+// outnumber CPUs the walk wraps: correctness never depends on
+// placement, oversubscription just shares cores.
+func Plan(t *Topology, workers, shards int) Placement {
+	pl := Placement{Reader: -1, Ingest: make([]int, workers), Shards: make([]int, shards)}
+	order := t.placementOrder()
+	if len(order) == 0 {
+		for i := range pl.Ingest {
+			pl.Ingest[i] = -1
+		}
+		for i := range pl.Shards {
+			pl.Shards[i] = -1
+		}
+		return pl
+	}
+	pos := 0
+	next := func() int {
+		c := order[pos%len(order)]
+		pos++
+		return c
+	}
+	pl.Reader = next()
+	for i := range pl.Ingest {
+		pl.Ingest[i] = next()
+	}
+	for i := range pl.Shards {
+		pl.Shards[i] = next()
+	}
+	return pl
+}
+
+// placementOrder lists CPU IDs domain by domain, physical cores first
+// within each domain, SMT siblings after.
+func (t *Topology) placementOrder() []int {
+	smt := make(map[int]bool, len(t.CPUs))
+	for _, c := range t.CPUs {
+		smt[c.ID] = c.SMT
+	}
+	var order []int
+	for _, g := range t.LLCs {
+		for _, id := range g {
+			if !smt[id] {
+				order = append(order, id)
+			}
+		}
+		for _, id := range g {
+			if smt[id] {
+				order = append(order, id)
+			}
+		}
+	}
+	return order
+}
+
+// parseCPUList parses the sysfs list format: "0-3,8,10-11".
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("bad cpu list element %q", part)
+		}
+		b := a
+		if found {
+			b, err = strconv.Atoi(hi)
+			if err != nil || b < a {
+				return nil, fmt.Errorf("bad cpu range %q", part)
+			}
+		}
+		if b-a >= 1<<20 {
+			return nil, fmt.Errorf("implausible cpu range %q", part)
+		}
+		for id := a; id <= b; id++ {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// formatCPUList renders ids (sorted) back into the compact "0-3,8"
+// sysfs form.
+func formatCPUList(ids []int) string {
+	var b strings.Builder
+	for i := 0; i < len(ids); {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", ids[i], ids[j])
+		} else {
+			fmt.Fprintf(&b, "%d", ids[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// readInt reads a single decimal integer file, returning def on any
+// problem.
+func readInt(path string, def int) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return def
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// readString reads a small text file, returning "" on any problem.
+func readString(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// parseSize parses sysfs cache sizes ("512K", "8192K", "1M", plain
+// bytes) into bytes, 0 if unparseable.
+func parseSize(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K':
+		mult, s = 1024, s[:len(s)-1]
+	case 'M':
+		mult, s = 1024*1024, s[:len(s)-1]
+	case 'G':
+		mult, s = 1024*1024*1024, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0
+	}
+	return v * mult
+}

@@ -1,0 +1,241 @@
+package cputopo
+
+import (
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func fixture(name string) string { return filepath.Join("testdata", "sysfs", name) }
+
+// TestDetectSingleSocket parses the single-socket fixture: two CPUs,
+// one unified L2 as the LLC (highest-level unified cache wins over the
+// per-CPU L1s), no SMT.
+func TestDetectSingleSocket(t *testing.T) {
+	topo, err := DetectRoot(fixture("single"))
+	if err != nil {
+		t.Fatalf("DetectRoot: %v", err)
+	}
+	if topo.Source != "sysfs" {
+		t.Errorf("source %q, want sysfs", topo.Source)
+	}
+	if len(topo.CPUs) != 2 {
+		t.Fatalf("%d CPUs, want 2", len(topo.CPUs))
+	}
+	if !reflect.DeepEqual(topo.LLCs, [][]int{{0, 1}}) {
+		t.Errorf("LLCs = %v, want [[0 1]]", topo.LLCs)
+	}
+	if topo.LLCBytes != 4096*1024 {
+		t.Errorf("LLCBytes = %d, want 4 MiB", topo.LLCBytes)
+	}
+	for _, c := range topo.CPUs {
+		if c.SMT {
+			t.Errorf("cpu %d marked SMT on a non-SMT tree", c.ID)
+		}
+		if c.LLC != 0 {
+			t.Errorf("cpu %d in LLC %d, want 0", c.ID, c.LLC)
+		}
+	}
+}
+
+// TestDetectDualLLC parses the CCX-style fixture: four CPUs split
+// across two L3 domains, with the per-CPU L2s correctly ignored in
+// favor of the level-3 cache.
+func TestDetectDualLLC(t *testing.T) {
+	topo, err := DetectRoot(fixture("dual-llc"))
+	if err != nil {
+		t.Fatalf("DetectRoot: %v", err)
+	}
+	if !reflect.DeepEqual(topo.LLCs, [][]int{{0, 1}, {2, 3}}) {
+		t.Errorf("LLCs = %v, want [[0 1] [2 3]]", topo.LLCs)
+	}
+	if topo.LLCBytes != 16384*1024 {
+		t.Errorf("LLCBytes = %d, want 16 MiB", topo.LLCBytes)
+	}
+	wantLLC := []int{0, 0, 1, 1}
+	for i, c := range topo.CPUs {
+		if c.LLC != wantLLC[i] {
+			t.Errorf("cpu %d in LLC %d, want %d", c.ID, c.LLC, wantLLC[i])
+		}
+	}
+	// Placement: a 1-reader/1-worker/2-shard pipeline fits domain 0
+	// entirely; the second shard spills to domain 1.
+	pl := Plan(topo, 1, 2)
+	if pl.Reader != 0 || pl.Ingest[0] != 1 || pl.Shards[0] != 2 || pl.Shards[1] != 3 {
+		t.Errorf("Plan = %+v, want reader 0, ingest [1], shards [2 3]", pl)
+	}
+}
+
+// TestDetectSMT parses the hyperthreaded fixture: cpus 2 and 3 share
+// physical cores with 0 and 1 and must be marked SMT and placed last.
+func TestDetectSMT(t *testing.T) {
+	topo, err := DetectRoot(fixture("smt"))
+	if err != nil {
+		t.Fatalf("DetectRoot: %v", err)
+	}
+	wantSMT := []bool{false, false, true, true}
+	for i, c := range topo.CPUs {
+		if c.SMT != wantSMT[i] {
+			t.Errorf("cpu %d SMT = %v, want %v", c.ID, c.SMT, wantSMT[i])
+		}
+	}
+	if got := topo.placementOrder(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("placementOrder = %v, want physical cores first [0 1 2 3]", got)
+	}
+	// Oversubscription wraps rather than failing: 6 roles on 4 CPUs.
+	pl := Plan(topo, 2, 3)
+	for _, cpu := range append(append([]int{pl.Reader}, pl.Ingest...), pl.Shards...) {
+		if cpu < 0 || cpu > 3 {
+			t.Errorf("planned cpu %d outside the topology", cpu)
+		}
+	}
+}
+
+// TestDetectMalformedFallsBack pins the degradation contract: a
+// malformed tree errors from DetectRoot, and Detect (whatever the host
+// looks like) always yields a usable topology — non-empty CPUs, LLCs a
+// partition of them — because the pipeline must never fail to start
+// over a parsing problem.
+func TestDetectMalformedFallsBack(t *testing.T) {
+	if _, err := DetectRoot(fixture("malformed")); err == nil {
+		t.Error("DetectRoot(malformed) succeeded, want error")
+	}
+	if _, err := DetectRoot(fixture("does-not-exist")); err == nil {
+		t.Error("DetectRoot(missing) succeeded, want error")
+	}
+	for _, topo := range []*Topology{Fallback(), Detect()} {
+		if len(topo.CPUs) == 0 || len(topo.CPUs) != runtime.NumCPU() && topo.Source == "fallback" {
+			t.Errorf("%s topology has %d CPUs", topo.Source, len(topo.CPUs))
+		}
+		grouped := 0
+		for _, g := range topo.LLCs {
+			grouped += len(g)
+		}
+		if grouped != len(topo.CPUs) {
+			t.Errorf("%s topology: LLC groups cover %d of %d CPUs", topo.Source, grouped, len(topo.CPUs))
+		}
+		if topo.Summary() == "" {
+			t.Error("empty summary")
+		}
+	}
+}
+
+// TestDetectNoCacheDegrades parses a tree with topology but no cache
+// directories: the LLC layout degrades to one domain over all CPUs
+// with unknown size, and detection still succeeds.
+func TestDetectNoCacheDegrades(t *testing.T) {
+	topo, err := DetectRoot(fixture("nocache"))
+	if err != nil {
+		t.Fatalf("DetectRoot: %v", err)
+	}
+	if !reflect.DeepEqual(topo.LLCs, [][]int{{0, 1}}) {
+		t.Errorf("LLCs = %v, want one degraded domain [[0 1]]", topo.LLCs)
+	}
+	if topo.LLCBytes != 0 {
+		t.Errorf("LLCBytes = %d, want 0 (unknown)", topo.LLCBytes)
+	}
+}
+
+// TestParseCPUList covers the sysfs list syntax and its rejects.
+func TestParseCPUList(t *testing.T) {
+	good := map[string][]int{
+		"0":         {0},
+		"0-3":       {0, 1, 2, 3},
+		"0-1,4,6-7": {0, 1, 4, 6, 7},
+		"3,1":       {1, 3},
+		"":          nil,
+		"0-0":       {0},
+		" 2 , 4-5 ": {2, 4, 5},
+	}
+	for in, want := range good {
+		got, err := parseCPUList(in)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("parseCPUList(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"x", "3-1", "-1", "1-", "0,,2", "0-99999999"} {
+		if got, err := parseCPUList(in); err == nil {
+			t.Errorf("parseCPUList(%q) = %v, want error", in, got)
+		}
+	}
+}
+
+// TestFormatCPUList round-trips the compact form.
+func TestFormatCPUList(t *testing.T) {
+	for _, tc := range []struct {
+		ids  []int
+		want string
+	}{
+		{[]int{0, 1, 2, 3}, "0-3"},
+		{[]int{0, 2, 3, 5}, "0,2-3,5"},
+		{[]int{7}, "7"},
+		{nil, ""},
+	} {
+		if got := formatCPUList(tc.ids); got != tc.want {
+			t.Errorf("formatCPUList(%v) = %q, want %q", tc.ids, got, tc.want)
+		}
+	}
+}
+
+// TestParseSize covers the sysfs cache-size suffixes.
+func TestParseSize(t *testing.T) {
+	for in, want := range map[string]int64{
+		"512K": 512 * 1024,
+		"8M":   8 << 20,
+		"1G":   1 << 30,
+		"123":  123,
+		"":     0,
+		"junk": 0,
+		"-4K":  0,
+	} {
+		if got := parseSize(in); got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestMask covers the affinity mask bit helpers on every platform.
+func TestMask(t *testing.T) {
+	var m Mask
+	for _, cpu := range []int{0, 63, 64, 1023} {
+		m.Set(cpu)
+		if !m.Has(cpu) {
+			t.Errorf("Set(%d) not visible to Has", cpu)
+		}
+	}
+	m.Set(-1)
+	m.Set(1024) // out of range: ignored, not a panic
+	if m.Has(-1) || m.Has(1024) {
+		t.Error("out-of-range bits reported set")
+	}
+}
+
+// TestPinThreadBestEffort calls the real affinity syscalls (on Linux)
+// pinned to CPU 0 — present on every machine — and restores the
+// original mask. Failures are tolerated (cgroup cpusets may forbid
+// even this) but a success must round-trip.
+func TestPinThreadBestEffort(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		if err := PinThread(0); err == nil {
+			t.Error("PinThread succeeded on non-Linux platform")
+		}
+		return
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	prev, err := GetAffinity()
+	if err != nil {
+		t.Skipf("GetAffinity: %v", err)
+	}
+	if err := PinThread(0); err != nil {
+		t.Skipf("PinThread(0): %v (restricted environment)", err)
+	}
+	got, err := GetAffinity()
+	if err != nil || !got.Has(0) {
+		t.Errorf("after PinThread(0): mask %v, err %v", got, err)
+	}
+	if err := SetAffinity(prev); err != nil {
+		t.Errorf("restore affinity: %v", err)
+	}
+}

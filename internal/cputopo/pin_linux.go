@@ -1,0 +1,57 @@
+//go:build linux
+
+package cputopo
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Mask is a thread CPU-affinity bit mask covering 1024 logical CPUs —
+// the kernel's cpu_set_t layout, one bit per CPU.
+type Mask [16]uint64
+
+// Set marks cpu runnable in the mask.
+func (m *Mask) Set(cpu int) {
+	if cpu >= 0 && cpu < len(m)*64 {
+		m[cpu/64] |= 1 << (uint(cpu) % 64)
+	}
+}
+
+// Has reports whether cpu is marked runnable.
+func (m *Mask) Has(cpu int) bool {
+	return cpu >= 0 && cpu < len(m)*64 && m[cpu/64]&(1<<(uint(cpu)%64)) != 0
+}
+
+// GetAffinity returns the calling OS thread's affinity mask. Callers
+// that intend to restore it later must hold runtime.LockOSThread.
+func GetAffinity() (Mask, error) {
+	var m Mask
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(unsafe.Sizeof(m)), uintptr(unsafe.Pointer(&m)))
+	if errno != 0 {
+		return m, errno
+	}
+	return m, nil
+}
+
+// SetAffinity restricts the calling OS thread to the CPUs in m.
+// Callers must hold runtime.LockOSThread, or the goroutine may migrate
+// to an unrestricted thread. Best-effort by design: cgroup cpusets on
+// containerized runners commonly reject masks outside their allowance.
+func SetAffinity(m Mask) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(m)), uintptr(unsafe.Pointer(&m)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// PinThread restricts the calling OS thread to one CPU. Callers must
+// hold runtime.LockOSThread.
+func PinThread(cpu int) error {
+	var m Mask
+	m.Set(cpu)
+	return SetAffinity(m)
+}

@@ -1,0 +1,29 @@
+//go:build !linux
+
+package cputopo
+
+// Mask is a thread CPU-affinity bit mask covering 1024 logical CPUs.
+// On non-Linux platforms it is inert: affinity calls report
+// ErrUnsupported and callers fall back to unpinned operation.
+type Mask [16]uint64
+
+// Set marks cpu runnable in the mask.
+func (m *Mask) Set(cpu int) {
+	if cpu >= 0 && cpu < len(m)*64 {
+		m[cpu/64] |= 1 << (uint(cpu) % 64)
+	}
+}
+
+// Has reports whether cpu is marked runnable.
+func (m *Mask) Has(cpu int) bool {
+	return cpu >= 0 && cpu < len(m)*64 && m[cpu/64]&(1<<(uint(cpu)%64)) != 0
+}
+
+// GetAffinity reports ErrUnsupported on non-Linux platforms.
+func GetAffinity() (Mask, error) { return Mask{}, ErrUnsupported }
+
+// SetAffinity reports ErrUnsupported on non-Linux platforms.
+func SetAffinity(Mask) error { return ErrUnsupported }
+
+// PinThread reports ErrUnsupported on non-Linux platforms.
+func PinThread(int) error { return ErrUnsupported }

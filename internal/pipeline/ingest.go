@@ -114,14 +114,15 @@ type srcUnit struct {
 // ingestState is one parallel ingest worker: it consumes its share of
 // the unit stream, hashes packets to shards, and publishes per-shard
 // item batches. Field ownership: in and freeUnits connect to the
-// reader; out[s] and freeItems[s] connect to shard s; cur and
-// droppedSince are worker-local.
+// reader; out[s] and freeItems[s] connect to shard s; epoch is
+// worker-stored, shard-loaded; cur and droppedSince are worker-local.
 type ingestState struct {
 	id        int
 	in        *spsc[srcUnit]
 	freeUnits *spsc[*unitBuf]
 	out       []*spsc[shardMsg]
 	freeItems []*spsc[[]item]
+	epoch     *epoch
 
 	// Worker-local.
 	cur          [][]item
@@ -136,6 +137,7 @@ func newIngestState(id int, cfg *Config) *ingestState {
 		freeUnits:    newSPSC[*unitBuf](cfg.QueueDepth + 2),
 		out:          make([]*spsc[shardMsg], cfg.Shards),
 		freeItems:    make([]*spsc[[]item], cfg.Shards),
+		epoch:        newEpoch(),
 		cur:          make([][]item, cfg.Shards),
 		droppedSince: make([]uint64, cfg.Shards),
 	}
@@ -287,17 +289,19 @@ func tupleHash(w1, w2 uint64) uint32 {
 	return uint32(h)
 }
 
-// ingestWorker drains one worker's unit ring: data units are hashed and
-// partitioned into per-shard item batches, barrier fragments are
-// forwarded to every shard. Every unit — including one contributing
-// nothing to a shard — publishes a message on every out ring, so a
-// shard's sequence-ordered consume always makes progress: the head of
-// ring w is the worker's next message, and its sequence number proves
-// which earlier units produced nothing (or were dropped).
+// ingestWorker drains one worker's unit ring: data units are hashed
+// and partitioned into per-shard item batches, barrier fragments are
+// forwarded to every shard. A unit pushes a message ONLY to the rings
+// of shards that actually receive packets from it; progress for
+// everyone else is the single epoch store that follows the unit's
+// pushes (epoch.advance), which is what lets a shard's
+// sequence-ordered consume skip whole runs of sequence numbers
+// without any per-unit cross-core message (DESIGN.md §15).
 //
 //nslint:hotpath
 func (p *Pipeline) ingestWorker(ig *ingestState) {
 	defer p.ingestWG.Done()
+	p.pinIngest(ig.id)
 	block := p.cfg.Policy == Block
 	for {
 		u, ok := ig.in.pop()
@@ -312,6 +316,7 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 				ig.out[s].push(shardMsg{seq: u.seq, bar: u.bar, dropped: ig.droppedSince[s]})
 				ig.droppedSince[s] = 0
 			}
+			ig.epoch.advance(u.seq + 1)
 			continue
 		}
 		if u.raw != nil {
@@ -338,28 +343,24 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 	for s := range ig.out {
 		ig.out[s].close()
 	}
+	// Exit sentinel: stored after the closes, so a shard that reads it
+	// and then finds a ring empty knows the ring is fully drained. It
+	// also wakes any shard parked on this worker's epoch.
+	ig.epoch.advance(epochClosed)
 }
 
 // publish flushes the worker's partitioned per-shard item batches for
-// one consumed unit: every shard ring gets exactly one message for this
-// sequence number (data, or an empty progress marker), carrying the
-// pending drop delta.
+// one consumed unit: shards with packets in the unit get one message
+// carrying the pending drop delta; shards without get nothing — the
+// epoch store at the end is their (and everyone's) progress signal.
+// Drop deltas that find no data message to ride are flushed by the
+// next window barrier's fragments, which are always delivered.
 //
 //nslint:hotpath
 func (ig *ingestState) publish(seq uint64, block bool) {
 	for s := range ig.out {
 		items := ig.cur[s]
 		if len(items) == 0 {
-			// Progress marker: no packets for this shard in this unit.
-			msg := shardMsg{seq: seq, dropped: ig.droppedSince[s]}
-			if block {
-				ig.out[s].push(msg)
-				ig.droppedSince[s] = 0
-			} else if ig.out[s].tryPush(msg) {
-				ig.droppedSince[s] = 0
-			}
-			// A failed empty push loses nothing: the shard skips the
-			// sequence number when it sees a later one.
 			continue
 		}
 		msg := shardMsg{seq: seq, items: items, dropped: ig.droppedSince[s]}
@@ -376,4 +377,5 @@ func (ig *ingestState) publish(seq uint64, block bool) {
 		next, _ := ig.freeItems[s].pop()
 		ig.cur[s] = next[:0]
 	}
+	ig.epoch.advance(seq + 1)
 }

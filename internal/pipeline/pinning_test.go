@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+
+	"netsample/internal/cputopo"
+	"netsample/internal/dist"
+	"netsample/internal/online"
+	"netsample/internal/trace"
+)
+
+// runPinned runs a 4-shard / 2-worker windowed pipeline over tr with
+// the given pinning configuration and returns its snapshots.
+func runPinned(t *testing.T, tr *trace.Trace, pin bool, topo *cputopo.Topology) []*Snapshot {
+	t.Helper()
+	root := dist.NewRNG(5)
+	rngs := make([]*dist.RNG, 4)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	p, err := New(Config{
+		Shards:        4,
+		IngestWorkers: 2,
+		WindowUS:      30_000_000,
+		Pinning:       pin,
+		Topology:      topo,
+		NewSampler: func(shard int) (online.Sampler, error) {
+			return online.NewStratified(50, rngs[shard])
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.Run(tr.Replay()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return p.Snapshots()
+}
+
+// TestPinningDeterministic pins the placement layer's non-interference
+// guarantee: snapshots are bit-identical with pinning off, with
+// pinning on against the detected host topology, and with pinning on
+// against a synthetic dual-LLC/SMT topology whose CPUs may not even
+// exist on the test machine (affinity failures are counted, never
+// fatal, and never affect output).
+func TestPinningDeterministic(t *testing.T) {
+	tr := smallTrace(t, 777)
+	base := runPinned(t, tr, false, nil)
+	if len(base) == 0 {
+		t.Fatal("no snapshots")
+	}
+
+	host := runPinned(t, tr, true, nil)
+	if len(host) != len(base) {
+		t.Fatalf("pinned(host): %d snapshots, want %d", len(host), len(base))
+	}
+	for i := range base {
+		assertSnapshotsEqual(t, i, base[i], host[i])
+	}
+
+	// Synthetic dual-LLC topology with SMT siblings: exercises the full
+	// placement plan (domain fill, SMT-last ordering) regardless of the
+	// hardware the test runs on.
+	synth := &cputopo.Topology{
+		CPUs: []cputopo.CPU{
+			{ID: 0, Core: 0, LLC: 0}, {ID: 1, Core: 1, LLC: 0},
+			{ID: 2, Core: 0, LLC: 0, SMT: true}, {ID: 3, Core: 1, LLC: 0, SMT: true},
+			{ID: 4, Package: 1, Core: 0, LLC: 1}, {ID: 5, Package: 1, Core: 1, LLC: 1},
+			{ID: 6, Package: 1, Core: 0, LLC: 1, SMT: true}, {ID: 7, Package: 1, Core: 1, LLC: 1, SMT: true},
+		},
+		LLCs:     [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}},
+		LLCBytes: 8 << 20,
+		Source:   "test",
+	}
+	pinned := runPinned(t, tr, true, synth)
+	if len(pinned) != len(base) {
+		t.Fatalf("pinned(synth): %d snapshots, want %d", len(pinned), len(base))
+	}
+	for i := range base {
+		assertSnapshotsEqual(t, i, base[i], pinned[i])
+	}
+}

@@ -17,13 +17,17 @@ import (
 // push in the common (non-contended) case touches only the slot and
 // the tail line.
 //
-// Waiting is spin-then-park: a handful of runtime.Gosched yields — the
+// Waiting is spin-then-park: a run of runtime.Gosched yields — the
 // cheap path when the peer is actively draining, and the polite one
 // when goroutines outnumber cores — then the waiter publishes a parked
 // flag and blocks on a one-token wake channel. The peer checks the
 // flag after every cursor move; flag-then-recheck on the waiter side
 // and move-then-flag-check on the waker side close the lost-wakeup
-// race, and a stale token at worst causes one spurious recheck.
+// race, and a stale token at worst causes one spurious recheck. The
+// spin budget is adaptive per side (see spinState): each side tunes
+// its own budget from whether its waits resolve in the spin phase,
+// so oversubscribed runners park almost immediately while pinned
+// in-phase pairs stay in the spin fast path.
 type spsc[T any] struct {
 	slots []T
 	mask  uint64
@@ -40,10 +44,18 @@ type spsc[T any] struct {
 	consParked atomic.Bool
 	prodWake   chan struct{}
 	consWake   chan struct{}
-}
 
-// ringSpins is the number of cooperative yields before a waiter parks.
-const ringSpins = 32
+	// prodSpin/consSpin are each side's adaptive spin budget, owned by
+	// that side's goroutine (written only on the slow park/resolve
+	// paths, so sharing a line with the flags above is harmless).
+	prodSpin spinState
+	consSpin spinState
+
+	// pushes counts successful pushes. Producer-owned plain field, read
+	// by tests after the producer is joined; it pins the marker-free
+	// property of epoch sequencing (TestEpochPublishBound).
+	pushes uint64
+}
 
 // newSPSC builds a ring holding at least capacity elements (rounded up
 // to a power of two for mask indexing).
@@ -60,6 +72,8 @@ func newSPSC[T any](capacity int) *spsc[T] {
 		mask:     uint64(n - 1),
 		prodWake: make(chan struct{}, 1),
 		consWake: make(chan struct{}, 1),
+		prodSpin: newSpinState(),
+		consSpin: newSpinState(),
 	}
 }
 
@@ -75,6 +89,7 @@ func (q *spsc[T]) tryPush(v T) bool {
 	}
 	q.slots[t&q.mask] = v
 	q.tail.Store(t + 1)
+	q.pushes++
 	q.wakeConsumer()
 	return true
 }
@@ -85,9 +100,12 @@ func (q *spsc[T]) push(v T) {
 	spins := 0
 	for {
 		if q.tryPush(v) {
+			if spins > 0 {
+				q.prodSpin.won()
+			}
 			return
 		}
-		if spins < ringSpins {
+		if spins < q.prodSpin.budget {
 			spins++
 			runtime.Gosched()
 			continue
@@ -103,6 +121,7 @@ func (q *spsc[T]) push(v T) {
 		}
 		<-q.prodWake
 		q.prodParked.Store(false)
+		q.prodSpin.lost()
 		spins = 0
 	}
 }
@@ -116,6 +135,9 @@ func (q *spsc[T]) peek() (*T, bool) {
 	for {
 		h := q.head.Load()
 		if q.tail.Load() > h {
+			if spins > 0 {
+				q.consSpin.won()
+			}
 			return &q.slots[h&q.mask], true
 		}
 		if q.closed.Load() {
@@ -126,7 +148,7 @@ func (q *spsc[T]) peek() (*T, bool) {
 			}
 			return nil, false
 		}
-		if spins < ringSpins {
+		if spins < q.consSpin.budget {
 			spins++
 			runtime.Gosched()
 			continue
@@ -139,9 +161,25 @@ func (q *spsc[T]) peek() (*T, bool) {
 		}
 		<-q.consWake
 		q.consParked.Store(false)
+		q.consSpin.lost()
 		spins = 0
 	}
 }
+
+// tryPeek returns the head slot without blocking, or (nil, false) if
+// the ring is observably empty. The pointer is valid until advance.
+// Consumer goroutine only.
+func (q *spsc[T]) tryPeek() (*T, bool) {
+	h := q.head.Load()
+	if q.tail.Load() > h {
+		return &q.slots[h&q.mask], true
+	}
+	return nil, false
+}
+
+// isClosed reports whether the producer has closed the ring (values
+// may remain queued; drain with tryPeek/advance).
+func (q *spsc[T]) isClosed() bool { return q.closed.Load() }
 
 // advance consumes the slot last returned by peek. Consumer goroutine
 // only; calling it without a preceding successful peek is a bug.

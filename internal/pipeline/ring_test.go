@@ -159,3 +159,74 @@ func TestRingStressSlowConsumer(t *testing.T) {
 		t.Fatalf("consumed %d, want %d", count, n)
 	}
 }
+
+// TestRingParkWakeInterleaving forces the spin-then-park handshake's
+// hazard window on every wait: zeroed spin budgets (the spinState test
+// hook) make both sides park immediately instead of yielding, so each
+// full/empty transition of a capacity-1 ring walks the
+// flag-then-recheck / move-then-flag-check protocol — producer parked
+// while the consumer drains to empty, consumer parked while the
+// producer refills, close racing a parked consumer. Run under -race
+// (it is pinned in the CI race matrix) this is the lost-wakeup
+// regression test for the ring: a protocol bug deadlocks or misorders
+// within a few thousand rounds.
+func TestRingParkWakeInterleaving(t *testing.T) {
+	const n = 100_000
+	q := newSPSC[int](1)
+	q.prodSpin = spinState{} // budget 0: park on every full ring
+	q.consSpin = spinState{} // budget 0: park on every empty ring
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.push(i)
+		}
+		// Close while the consumer may be parked on an empty ring: the
+		// close must wake it so it can observe the drained state.
+		q.close()
+	}()
+	count := 0
+	for {
+		v, ok := q.pop()
+		if !ok {
+			break
+		}
+		if v != count {
+			t.Fatalf("out of order: got %d, want %d", v, count)
+		}
+		count++
+	}
+	wg.Wait()
+	if count != n {
+		t.Fatalf("consumed %d, want %d", count, n)
+	}
+}
+
+// TestSpinStateAdapts pins the AIMD budget dynamics: wins double up to
+// the cap, losses halve down to the floor, and the zero test hook is
+// sticky in both directions.
+func TestSpinStateAdapts(t *testing.T) {
+	s := newSpinState()
+	if s.budget != defaultSpins {
+		t.Fatalf("initial budget %d, want %d", s.budget, defaultSpins)
+	}
+	for i := 0; i < 10; i++ {
+		s.won()
+	}
+	if s.budget != maxSpins {
+		t.Errorf("after wins: budget %d, want cap %d", s.budget, maxSpins)
+	}
+	for i := 0; i < 10; i++ {
+		s.lost()
+	}
+	if s.budget != minSpins {
+		t.Errorf("after losses: budget %d, want floor %d", s.budget, minSpins)
+	}
+	z := spinState{}
+	z.won()
+	z.lost()
+	if z.budget != 0 {
+		t.Errorf("zero hook drifted to %d", z.budget)
+	}
+}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"runtime"
+
 	"netsample/internal/bins"
 	"netsample/internal/flows"
 	"netsample/internal/nnstat"
@@ -18,12 +20,14 @@ type item struct {
 	hasGap bool
 }
 
-// shardMsg travels a (ingest worker, shard) ring: a data batch, an
-// empty progress marker (nil items), or a window barrier fragment. seq
-// is the global unit sequence number — a shard worker consumes its
-// rings in seq order, which restores exact stream order across the
-// parallel ingest stage. dropped is the producing worker's drop delta
-// for this shard since its previous successful publish on this ring.
+// shardMsg travels a (ingest worker, shard) ring: a data batch or a
+// window barrier fragment. seq is the global unit sequence number — a
+// shard worker consumes its rings in seq order, which restores exact
+// stream order across the parallel ingest stage. Units contributing
+// nothing to a shard send no message at all; the worker's epoch
+// counter is the progress signal for the gaps. dropped is the
+// producing worker's drop delta for this shard since its previous
+// successful publish on this ring.
 type shardMsg struct {
 	seq     uint64
 	items   []item
@@ -33,12 +37,21 @@ type shardMsg struct {
 
 // shardState is one worker shard. Field ownership is strict: in and
 // free are the rings connecting it to each ingest worker (indexed by
-// worker id); everything else is worker-goroutine-only (and the Run
-// caller's after shardWG.Wait).
+// worker id); epochs are the workers' progress counters (loaded only);
+// everything else is worker-goroutine-only (and the Run caller's after
+// shardWG.Wait).
 type shardState struct {
-	id   int
-	in   []*spsc[shardMsg] // consume side of the (worker, shard) rings
-	free []*spsc[[]item]   // recycle side, back to each worker
+	id     int
+	in     []*spsc[shardMsg] // consume side of the (worker, shard) rings
+	free   []*spsc[[]item]   // recycle side, back to each worker
+	epochs []*epoch          // each worker's published progress
+
+	// Sequencing state of the consume loop, allocated cold in New,
+	// touched only by the shard goroutine: per-worker retired flag,
+	// skip-run frontier, and adaptive spin budget for epoch waits.
+	retired   []bool
+	skipUntil []uint64
+	spin      []spinState
 
 	// Worker-owned.
 	sampler online.Sampler
@@ -114,29 +127,50 @@ func buildSizeLUT(s bins.Scheme) []uint8 {
 }
 
 // shardWorker drains one shard's rings in global sequence order: the
-// ring owning the next sequence number is in[seq mod N]. Three cases at
-// that ring's head:
+// ring owning the next sequence number is in[seq mod N]. Sequence
+// numbers are resolved by epoch-batched sequencing (DESIGN.md §15):
+// a number whose ring holds a message for it is consumed; a number
+// proven empty is skipped — and the proof costs no per-unit message.
 //
-//   - head.seq == next: consume it (data feeds the shard state, a
-//     barrier fragment counts toward the cut);
-//   - head.seq > next: sequence `next` was dropped under overload or
-//     its ring slot was shed — skip the number, the drop was counted by
-//     the producer;
-//   - ring closed and drained: the worker has exited, nothing more will
-//     arrive from it — skip all its remaining numbers.
+// Resolution of `next` on ring w, in order:
 //
-// Because each worker publishes in increasing seq order and every unit
-// publishes to every shard, the head of the owning ring always decides
-// `next` without waiting on any other ring; a barrier completes after
-// one fragment from each live worker, cutting every shard at the same
-// stream position.
+//   - retired[w] or next < skipUntil[w]: already proven empty — skip
+//     locally, no shared access at all.
+//   - ring head has seq == next: consume it (data feeds the shard
+//     state, a barrier fragment counts toward the cut).
+//   - ring head has seq > next: the ring is FIFO and the worker
+//     publishes in increasing seq order, so nothing below head.seq
+//     remains for us — skip the run up to head.seq. (This also covers
+//     batches shed under the Drop policy.)
+//   - ring empty, worker's epoch == epochClosed: the worker has
+//     exited; the sentinel is stored after its ring closes, and the
+//     empty peek came after we read the sentinel, so the ring is
+//     drained — retire it.
+//   - ring empty, worker's epoch done > next: every unit below done
+//     is fully published, and the peek (ordered after the epoch load)
+//     saw none of it on our ring — skip the whole run up to done.
+//   - ring empty, done <= next, ring closed: the final push/sentinel
+//     raced between our epoch load and the peek; re-resolve.
+//   - otherwise `next` is genuinely undecided: wait (spin-then-park)
+//     on the worker's epoch, then re-resolve with fresh state.
+//
+// The epoch load MUST precede the peek: loading done > next proves all
+// pushes below done completed before the load, so a LATER empty peek
+// proves none of them were for this shard. With the opposite order a
+// push could land between the peek and the load and be skipped over —
+// losing data. (All operations involved are seq-cst atomics.)
+//
+// A barrier completes after one fragment from each live worker,
+// cutting every shard at the same stream position, exactly as before:
+// epoch batching changes how "nothing for you" is communicated, never
+// which messages exist or the order they are consumed in — which is
+// why determinism for any worker/shard count survives.
 //
 //nslint:hotpath
 func (p *Pipeline) shardWorker(st *shardState) {
 	defer p.shardWG.Done()
+	p.pinShard(st.id)
 	n := uint64(len(st.in))
-	//nslint:allow hotalloc one startup allocation per worker, before the packet loop
-	closed := make([]bool, n)
 	live := int(n)
 	var (
 		next     uint64
@@ -145,19 +179,31 @@ func (p *Pipeline) shardWorker(st *shardState) {
 	)
 	for live > 0 {
 		w := next % n
-		if closed[w] {
+		if st.retired[w] || next < st.skipUntil[w] {
 			next++
 			continue
 		}
-		head, ok := st.in[w].peek()
+		done := st.epochs[w].done.Load() // before the peek; see above
+		head, ok := st.in[w].tryPeek()
 		if !ok {
-			closed[w] = true
-			live--
-			next++
+			switch {
+			case done == epochClosed:
+				st.retired[w] = true
+				live--
+				next++
+			case done > next:
+				st.skipUntil[w] = done
+				next++
+			case st.in[w].isClosed():
+				runtime.Gosched() // sentinel is one store away; re-resolve
+			default:
+				st.epochs[w].wait(next, &st.spin[w])
+			}
 			continue
 		}
 		if head.seq > next {
-			next++ // this seq produced nothing for us (or was shed)
+			st.skipUntil[w] = head.seq
+			next++
 			continue
 		}
 		msg := *head
@@ -173,9 +219,6 @@ func (p *Pipeline) shardWorker(st *shardState) {
 				curBar = nil
 				barFrags = 0
 			}
-			continue
-		}
-		if msg.items == nil {
 			continue
 		}
 		for i := range msg.items {

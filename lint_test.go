@@ -1,6 +1,7 @@
 package netsample_test
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -122,6 +123,14 @@ func TestHotClosureCoversAllocPinnedPaths(t *testing.T) {
 		"(*" + mp + "/internal/online.Systematic).Offer",
 		"(*" + mp + "/internal/online.Stratified).Offer",
 		"(*" + mp + "/internal/bins.Edged).Index",
+		// Epoch-batched sequencing: progress publication and the shard
+		// side's skip/wait resolution run once per unit between packet
+		// batches, inside the same hot loops.
+		"(*" + mp + "/internal/pipeline.ingestState).publish",
+		"(*" + mp + "/internal/pipeline.ingestState).partitionRaw",
+		"(*" + mp + "/internal/pipeline.epoch).advance",
+		"(*" + mp + "/internal/pipeline.epoch).wait",
+		"(*" + mp + "/internal/pipeline.spsc[T]).tryPeek",
 		// TestMapReaderHotPathAllocs: the zero-copy raw ingest path,
 		// per batch of records.
 		"(*" + mp + "/internal/pipeline.Pipeline).readRaw",
@@ -146,6 +155,38 @@ func TestHotClosureCoversAllocPinnedPaths(t *testing.T) {
 	for _, name := range wanted {
 		if !in[name] {
 			t.Errorf("alloc-pinned function %s is not in the //nslint:hotpath closure", name)
+		}
+	}
+}
+
+// TestColdpathKeepsPinningOffHotPath is the inverse audit of the
+// closure test above: thread placement is one-time setup — sysfs
+// parsing, affinity syscalls, placement planning — and must stay
+// behind the //nslint:coldpath boundaries at the pipeline's pin
+// helpers. If a refactor inlines a pin helper into a worker loop or
+// drops a coldpath annotation, cputopo functions leak into the hot
+// closure and every allocation in the parser becomes a hotalloc
+// finding; this test names the leak directly instead.
+func TestColdpathKeepsPinningOffHotPath(t *testing.T) {
+	loader, module, _, _ := lintModule(t)
+	mp := loader.ModulePath
+	banned := []string{
+		"(*" + mp + "/internal/pipeline.Pipeline).pinIngest",
+		"(*" + mp + "/internal/pipeline.Pipeline).pinShard",
+		"(*" + mp + "/internal/pipeline.Pipeline).pinTo",
+		"(*" + mp + "/internal/pipeline.Pipeline).pinReader",
+	}
+	bannedSet := make(map[string]bool, len(banned))
+	for _, name := range banned {
+		bannedSet[name] = true
+	}
+	for _, e := range module.HotClosure() {
+		name := e.Func.FullName()
+		if strings.Contains(name, mp+"/internal/cputopo.") {
+			t.Errorf("topology/affinity function %s reached the //nslint:hotpath closure", name)
+		}
+		if bannedSet[name] {
+			t.Errorf("pin helper %s reached the //nslint:hotpath closure; its //nslint:coldpath boundary is gone", name)
 		}
 	}
 }
