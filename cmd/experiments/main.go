@@ -4,17 +4,28 @@
 // Usage:
 //
 //	experiments [-in trace.nstr] [-only figure8] [-quick]
+//	experiments -matrix [-seed 1993] [-k 10] [-quick] [-format csv]
 //
 // Without -in the calibrated hour trace is generated in memory (~1.5 M
 // packets, a second or two). -quick substitutes a two-minute population
 // for a fast smoke run. -only restricts output to one artifact id
 // (table1..table3, figure1..figure11, sec5.1, sec5.2).
+//
+// -matrix runs the scenario × sampler characterization matrix instead
+// of the paper suite: every traffgen preset scenario (ddos, flashcrowd,
+// hhchurn, portscan, elephantmice) against every sampling method plus
+// the adaptive controller, one cell per combination, each scored
+// against the scenario's own population. The matrix ignores -in — each
+// scenario is its own parent. With -quick, cells run over 30-second
+// scenarios; the default is 2 minutes. Output is byte-identical across
+// runs at the same seed in all formats.
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"time"
 
 	"netsample/internal/experiment"
 	"netsample/internal/trace"
@@ -29,7 +40,25 @@ func main() {
 	only := flag.String("only", "", "render only the artifact with this id")
 	quick := flag.Bool("quick", false, "use a 2-minute population for a fast run")
 	format := flag.String("format", "text", "output format: text|csv|json")
+	matrix := flag.Bool("matrix", false, "run the scenario × sampler matrix instead of the paper suite")
+	seed := flag.Uint64("seed", 1993, "matrix RNG seed")
+	k := flag.Int("k", 10, "matrix base sampling granularity")
 	flag.Parse()
+
+	if *matrix {
+		dur := 2 * time.Minute
+		if *quick {
+			dur = 30 * time.Second
+		}
+		r, err := experiment.Matrix(*seed, dur, *k)
+		if err != nil {
+			log.Fatalf("matrix: %v", err)
+		}
+		if err := experiment.WriteAllFormat(os.Stdout, []experiment.Result{r}, *format); err != nil {
+			log.Fatalf("render: %v", err)
+		}
+		return
+	}
 
 	var tr *trace.Trace
 	var err error

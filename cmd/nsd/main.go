@@ -11,7 +11,16 @@
 //
 //	nsd -in trace.nstr [-method systematic] [-k 100] [-shards 1]
 //	    [-window 0] [-listen 127.0.0.1:0] ...
-//	nsd -gen [-seconds 120] [-pps 424] ...
+//	nsd -gen [-seconds 120] [-pps 424] [-scenario ddos] ...
+//	nsd -gen -adaptive -window 5s [-k 16] [-min-k 4] [-max-k 4096]
+//	    [-target 0.25] [-drop-budget 0] ...
+//
+// -adaptive replaces the fixed sampler with the closed-loop controller
+// of DESIGN.md §16: every window barrier, the merged snapshot's drop
+// rate and worst φ steer the next window's systematic k inside
+// [-min-k, -max-k], starting from -k. The decision runs on the virtual
+// clock at the stream cut, so an adaptive run stays bit-identical for
+// any -shards/-ingest-workers combination at the same seed.
 //
 // The daemon is deterministic: all randomness comes from -seed, and
 // windowing runs on the virtual clock of the packet timestamps. With
@@ -50,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,14 +81,20 @@ func main() {
 	log.SetPrefix("nsd: ")
 
 	var (
-		listen  = flag.String("listen", "127.0.0.1:0", "agent listen address")
-		in      = flag.String("in", "", "NSTR trace file to stream (mutually exclusive with -gen)")
-		gen     = flag.Bool("gen", false, "generate the input with traffgen instead of reading a file")
-		seconds = flag.Int("seconds", 120, "generated trace duration in seconds (-gen)")
-		pps     = flag.Float64("pps", 424, "generated average packets per second (-gen)")
-		method  = flag.String("method", "systematic",
+		listen   = flag.String("listen", "127.0.0.1:0", "agent listen address")
+		in       = flag.String("in", "", "NSTR trace file to stream (mutually exclusive with -gen)")
+		gen      = flag.Bool("gen", false, "generate the input with traffgen instead of reading a file")
+		seconds  = flag.Int("seconds", 120, "generated trace duration in seconds (-gen)")
+		pps      = flag.Float64("pps", 424, "generated average packets per second (-gen)")
+		scenario = flag.String("scenario", "", "generate a preset anomaly scenario instead of steady-state traffic (-gen): "+strings.Join(traffgen.ScenarioNames(), ", "))
+		method   = flag.String("method", "systematic",
 			"sampling method: systematic, stratified, systematic-timer, stratified-timer")
 		k             = flag.Int("k", 100, "sampling granularity (1 in k packets, or the timer equivalent)")
+		adaptive      = flag.Bool("adaptive", false, "closed-loop systematic sampling: steer k per window against -target and -drop-budget (requires -window > 0; -k is the starting granularity)")
+		minK          = flag.Int("min-k", 1, "adaptive: finest granularity the controller may choose")
+		maxK          = flag.Int("max-k", 4096, "adaptive: coarsest granularity the controller may choose")
+		targetPhi     = flag.Float64("target", 0.25, "adaptive: φ budget; refine when a window's worst φ exceeds it")
+		dropBudget    = flag.Float64("drop-budget", 0, "adaptive: tolerated drop fraction per window before coarsening")
 		shards        = flag.Int("shards", 1, "worker shard count")
 		ingestWorkers = flag.Int("ingest-workers", 1, "parallel ingest (hash/fan-out) workers")
 		window        = flag.Duration("window", 0, "snapshot window on the trace's virtual clock (0 = one final window)")
@@ -135,7 +151,7 @@ func main() {
 	if (*in == "") == !*gen {
 		log.Fatal("exactly one of -in or -gen is required")
 	}
-	tr, src, closeSrc, err := loadSource(*in, *gen, *seconds, *pps, *seed)
+	tr, src, closeSrc, err := loadSource(*in, *gen, *scenario, *seconds, *pps, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,6 +163,22 @@ func main() {
 		*queue, *batch, *policy, *topk, *flowTimeout)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *adaptive {
+		if *method != "systematic" {
+			log.Fatalf("-adaptive steers systematic granularity; -method %s is not supported", *method)
+		}
+		if *window <= 0 {
+			log.Fatal("-adaptive needs -window > 0: decisions happen at window barriers")
+		}
+		cfg.NewSampler = nil
+		cfg.Adaptive = &pipeline.AdaptiveConfig{
+			MinK:       *minK,
+			MaxK:       *maxK,
+			StartK:     *k,
+			TargetPhi:  *targetPhi,
+			DropBudget: *dropBudget,
+		}
 	}
 	cfg.IngestWorkers = *ingestWorkers
 	cfg.Pinning = *pin
@@ -248,8 +280,19 @@ func main() {
 // of the page cache (the zero-copy path, DESIGN.md §13) while the
 // reference trace is materialized once from the same mapping.
 // Generated input replays from memory and its release is a no-op.
-func loadSource(in string, gen bool, seconds int, pps float64, seed uint64) (*trace.Trace, pipeline.Source, func() error, error) {
+func loadSource(in string, gen bool, scenario string, seconds int, pps float64, seed uint64) (*trace.Trace, pipeline.Source, func() error, error) {
 	if gen {
+		if scenario != "" {
+			s, err := traffgen.PresetScenario(scenario, seed, time.Duration(seconds)*time.Second)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			tr, err := traffgen.GenerateScenario(s)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return tr, tr.Replay(), func() error { return nil }, nil
+		}
 		cfg := traffgen.NSFNETHour()
 		cfg.Seed = seed
 		cfg.Duration = time.Duration(seconds) * time.Second
@@ -359,6 +402,9 @@ func summarize(s *pipeline.Snapshot) string {
 	}
 	line += fmt.Sprintf(": offered=%d processed=%d selected=%d dropped=%d flows=%d",
 		s.Offered, s.Processed, s.Selected, s.Dropped, s.Flows.Flows)
+	if s.K > 0 {
+		line += fmt.Sprintf(" k=%d", s.K)
+	}
 	if s.SizeReport != nil {
 		line += fmt.Sprintf(" phi[size]=%.4f", s.SizeReport.Phi)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"netsample/internal/arts"
 	"netsample/internal/nsfnet"
+	"netsample/internal/online"
 	"netsample/internal/trace"
 )
 
@@ -73,17 +74,42 @@ func NewController(minK, maxK, startK int, lowWater float64, epochUS int64) (*Co
 // K returns the granularity currently in force.
 func (c *Controller) K() int { return c.k }
 
-// observe accounts one selected packet and epoch rollover, adjusting k
+// observe accounts one packet arrival and epoch rollover, adjusting k
 // at epoch boundaries based on processor feedback.
+//
+// Only epochs that actually observed traffic produce a decision. The
+// epoch containing the previous packet is closed with one adjust when
+// the clock first steps past its end; any further whole epochs between
+// that packet and tUS were silent — no packets were offered, so there
+// is nothing to steer by — and are collapsed into an O(1) arithmetic
+// advance of epochStart with no adjust and no History entry. This fixes
+// two failure modes of the naive one-adjust-per-elapsed-epoch catch-up:
+// a quiet gap no longer halves k once per silent epoch (the first
+// rollover zeroes the selected counter, so every later silent epoch saw
+// load 0 < LowWater and the gap erased all overload protection right
+// before traffic resumed), and a large forward timestamp jump —
+// adversarial clocks are an explicit contract in internal/online — no
+// longer costs one iteration plus one History append per elapsed epoch
+// (a single packet could demand millions of both). Backward steps leave
+// the current epoch open; History stays bounded by the number of
+// epochs that contained at least one packet.
 func (c *Controller) observe(tUS int64, proc *nsfnet.Processor, capacityPPS float64) {
 	if !c.started {
 		c.started = true
 		c.epochStart = tUS
 		c.dropped = proc.Dropped()
 	}
-	for tUS-c.epochStart >= c.EpochUS {
-		c.adjust(proc, capacityPPS)
-		c.epochStart += c.EpochUS
+	if tUS-c.epochStart < c.EpochUS {
+		return
+	}
+	// Close the epoch holding the previous packet: the counters
+	// accumulated since the last rollover belong to it.
+	c.adjust(proc, capacityPPS)
+	c.epochStart += c.EpochUS
+	// Collapse the silent epochs, if any, so tUS falls inside the
+	// current epoch again.
+	if gap := tUS - c.epochStart; gap >= c.EpochUS {
+		c.epochStart += (gap / c.EpochUS) * c.EpochUS
 	}
 }
 
@@ -113,26 +139,40 @@ func (c *Controller) adjust(proc *nsfnet.Processor, capacityPPS float64) {
 	c.selected = 0
 }
 
-// Node is a T1-style node whose statistics path samples adaptively: the
-// forwarding-path counter selects every k-th packet with k steered by
-// the Controller.
+// Node is a T1-style node whose statistics path samples adaptively: a
+// streaming systematic sampler selects every k-th packet with k steered
+// by the Controller.
+//
+// Selection contract: within one granularity regime the node selects
+// every k-th packet. When the Controller changes k, the sampler's
+// schedule re-anchors at the change point (online.Systematic's
+// SetGranularity contract): the k-th packet after the switch is the
+// next selected, then every k-th. The node formerly kept one monotone
+// counter tested mod k, which let a k change take effect at an
+// arbitrary phase of the new modulus — the inter-selection gap right
+// after a switch could be anything in [1, k), biasing the first sampled
+// interval of every control decision.
 type Node struct {
 	SNMP        nsfnet.SNMPCounters
 	Objects     *arts.ObjectSet
 	Proc        *nsfnet.Processor
 	Ctl         *Controller
 	capacityPPS float64
-	counter     int
+	sys         *online.Systematic
 }
 
 // NewNode builds an adaptive node with the given processor capacity and
 // buffer.
 func NewNode(capacityPPS float64, buffer int, ctl *Controller) *Node {
+	// NewController guarantees k >= MinK >= 1, so the constructor cannot
+	// reject it.
+	sys, _ := online.NewSystematic(ctl.K(), 0)
 	return &Node{
 		Objects:     arts.NewObjectSet(arts.T1),
 		Proc:        nsfnet.NewProcessor(capacityPPS, buffer),
 		Ctl:         ctl,
 		capacityPPS: capacityPPS,
+		sys:         sys,
 	}
 }
 
@@ -141,14 +181,18 @@ func (n *Node) Process(p trace.Packet) {
 	n.SNMP.InPackets++
 	n.SNMP.InOctets += uint64(p.Size)
 	n.Ctl.observe(p.Time, n.Proc, n.capacityPPS)
-	k := n.Ctl.K()
-	n.counter++
-	if n.counter%k != 0 {
+	if k := n.Ctl.K(); k != n.sys.K() {
+		// Granularity changed at the epoch boundary: re-anchor the
+		// selection phase (see the Node contract above).
+		//nslint:allow errdrop the controller clamps k to [MinK, MaxK] with MinK >= 1, so ErrBadGranularity is unreachable
+		n.sys.SetGranularity(k)
+	}
+	if !n.sys.Offer(p.Time) {
 		return
 	}
 	n.Ctl.selected++
 	if n.Proc.Offer(p.Time) {
-		n.Objects.Record(p, uint64(k))
+		n.Objects.Record(p, uint64(n.sys.K()))
 	}
 }
 

@@ -2,9 +2,11 @@ package adaptive
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
+	"netsample/internal/dist"
 	"netsample/internal/packet"
 	"netsample/internal/trace"
 	"netsample/internal/traffgen"
@@ -145,6 +147,174 @@ func nodeWithFixedK(t *testing.T, tr *trace.Trace, capacity float64, buffer int)
 	n := NewNode(capacity, buffer, ctl)
 	n.ProcessTrace(tr)
 	return n.CategorizedPackets()
+}
+
+// ctlPacket builds the fixed-shape packet the controller tests feed.
+func ctlPacket(tUS int64) trace.Packet {
+	return trace.Packet{
+		Time: tUS, Size: 552, Protocol: packet.ProtoTCP,
+		Src: packet.Addr{132, 249, 0, 1}, Dst: packet.Addr{18, 0, 0, 1},
+	}
+}
+
+func TestLullDoesNotCollapseGranularity(t *testing.T) {
+	// Regression: the pre-fix catch-up loop in observe ran adjust once
+	// per elapsed epoch. Across a quiet gap the first call zeroed the
+	// selected counter, so every later silent epoch saw load
+	// 0 < LowWater and halved k down to MinK — the lull erased all
+	// overload protection right before traffic resumed.
+	ctl, err := NewController(1, 1024, 1, 0.4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(200, 16, ctl) // 10x overloaded during bursts
+	node.ProcessTrace(rampTrace(10, 2000, 2000))
+	kBefore := ctl.K()
+	if kBefore <= 2 {
+		t.Fatalf("precondition: overload should have raised k, got %d", kBefore)
+	}
+	decisionsBefore := len(ctl.History)
+
+	// Traffic resumes after a 120 s lull. Only the epoch holding the
+	// last burst packet may still close (one adjust, at most one
+	// halving); the ~119 silent epochs must not steer.
+	node.Process(ctlPacket(130_000_000))
+	got := ctl.K()
+	if got*2 < kBefore || got == 1 {
+		t.Fatalf("lull collapsed k: before=%d after=%d", kBefore, got)
+	}
+	if extra := len(ctl.History) - decisionsBefore; extra > 1 {
+		t.Fatalf("silent epochs minted %d decisions, want at most 1", extra)
+	}
+
+	// The resumed burst must keep overload protection in force.
+	for i := int64(0); i < 2000; i++ {
+		node.Process(ctlPacket(130_000_000 + i*500))
+	}
+	if ctl.K()*2 < kBefore {
+		t.Fatalf("k=%d after resumed burst, was %d before the lull", ctl.K(), kBefore)
+	}
+}
+
+func TestSilentGapCatchUpIsBounded(t *testing.T) {
+	// Regression: with 1 ms epochs a forward jump of 1000 s spans one
+	// million epochs. The pre-fix loop ran adjust — and appended a
+	// History entry — once per elapsed epoch, so a single packet cost
+	// a million iterations and unbounded memory. Silent epochs must be
+	// collapsed into an arithmetic advance of epochStart.
+	ctl, err := NewController(1, 1024, 8, 0.4, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(1e6, 64, ctl)
+	node.Process(ctlPacket(0))
+	node.Process(ctlPacket(2_000))         // closes the first epoch normally
+	node.Process(ctlPacket(1_000_000_000)) // jump across ~1e6 silent epochs
+	node.Process(ctlPacket(1_000_001_500)) // and one more ordinary rollover
+	if len(ctl.History) > 4 {
+		t.Fatalf("silent gap minted %d history entries; catch-up is unbounded", len(ctl.History))
+	}
+	if k := ctl.K(); k < 1 || k > 1024 {
+		t.Fatalf("k=%d left [MinK, MaxK] across the gap", k)
+	}
+}
+
+// adversarialTimes mirrors the adversarial-timestamp generator pinned in
+// internal/online's property tests: runs of exact duplicates, backward
+// steps, forward jumps of several epochs, and excursions below zero.
+func adversarialTimes(seed uint64, n int, periodUS int64) []int64 {
+	rng := dist.NewRNG(seed)
+	out := make([]int64, n)
+	t := int64(0)
+	for i := range out {
+		switch rng.IntN(10) {
+		case 0, 1, 2: // duplicate: the 400 µs capture clock repeats
+			// t unchanged
+		case 3, 4: // backward step (NTP slew)
+			t -= rng.Int64N(3*periodUS) + 1
+		case 5: // forward jump across several epochs
+			t += rng.Int64N(8*periodUS) + 1
+		default: // ordinary forward progress
+			t += rng.Int64N(periodUS/4 + 1)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func TestControllerAdversarialTimestamps(t *testing.T) {
+	// Property: under any clock pathology the online contract admits,
+	// k never leaves [MinK, MaxK], History stays bounded by the number
+	// of packets offered, and the decision sequence is a pure function
+	// of the timestamp sequence.
+	const epochUS = int64(1_000)
+	const n = 5000
+	for seed := uint64(1); seed <= 20; seed++ {
+		times := adversarialTimes(seed, n, epochUS)
+		run := func() []Decision {
+			ctl, err := NewController(2, 64, 8, 0.4, epochUS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node := NewNode(300, 8, ctl)
+			for _, ts := range times {
+				node.Process(ctlPacket(ts))
+				if k := ctl.K(); k < 2 || k > 64 {
+					t.Fatalf("seed %d: k=%d left [2, 64]", seed, k)
+				}
+			}
+			if len(ctl.History) > n {
+				t.Fatalf("seed %d: %d decisions from %d packets", seed, len(ctl.History), n)
+			}
+			return ctl.History
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: decisions are not a pure function of the trace", seed)
+		}
+	}
+}
+
+func TestGranularityChangePhaseIsReanchored(t *testing.T) {
+	// Satellite bugfix: the node formerly kept one monotone counter
+	// tested mod k, so a k change took effect at an arbitrary phase of
+	// the new modulus — the inter-selection gap right after a switch
+	// could be anywhere in [1, k). The contract now re-anchors: the
+	// k-th packet offered after the change is the next selected.
+	ctl, err := NewController(2, 8, 8, 0.9, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(1e9, 64, ctl) // idle processor: the boundary halves k
+	feed := func(tUS int64) bool {
+		before := ctl.selected
+		node.Process(ctlPacket(tUS))
+		return ctl.selected > before
+	}
+	// 21 packets in epoch 0 at k=8, chosen so the stale monotone-counter
+	// phase (selections at counters 24 and 28, i.e. the 2nd and 6th
+	// packets below) differs from the re-anchored schedule.
+	for i := int64(0); i < 21; i++ {
+		feed(i * 1_000)
+	}
+	// The boundary packet closes epoch 0 (k 8 -> 4) and is the first
+	// offer of the new regime; adjust zeroes the selected counter here,
+	// so its delta is not meaningful — but re-anchoring guarantees it
+	// is not selected.
+	node.Process(ctlPacket(1_000_000))
+	if ctl.K() != 4 {
+		t.Fatalf("k=%d at the epoch boundary, want 4", ctl.K())
+	}
+	var sel []int
+	for i := int64(0); i < 8; i++ { // offers 2..9 after the change
+		if feed(1_001_000 + i*1_000) {
+			sel = append(sel, int(i)+2)
+		}
+	}
+	want := []int{4, 8}
+	if len(sel) != len(want) || sel[0] != want[0] || sel[1] != want[1] {
+		t.Fatalf("selections after k change at offers %v, want %v", sel, want)
+	}
 }
 
 func TestAdaptiveOnRealisticTraffic(t *testing.T) {

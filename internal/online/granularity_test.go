@@ -1,0 +1,115 @@
+package online
+
+import "testing"
+
+// offerN drives n offers and returns the 1-based offer indices that
+// were selected.
+func offerN(s *Systematic, n int, base int64) []int {
+	var sel []int
+	for i := 1; i <= n; i++ {
+		if s.Offer(base + int64(i)) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+func TestSetGranularityReanchorsSchedule(t *testing.T) {
+	// After a switch to k, the next selection must be exactly the k-th
+	// offer after the switch, then every k-th — for any prior phase.
+	for prePhase := 0; prePhase < 5; prePhase++ {
+		s, err := NewSystematic(5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < prePhase; i++ {
+			s.Offer(int64(i))
+		}
+		if err := s.SetGranularity(3); err != nil {
+			t.Fatal(err)
+		}
+		got := offerN(s, 9, 100)
+		want := []int{3, 6, 9}
+		if len(got) != len(want) {
+			t.Fatalf("phase %d: selections %v, want %v", prePhase, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("phase %d: selections %v, want %v", prePhase, got, want)
+			}
+		}
+	}
+}
+
+func TestSetGranularityToOneSelectsEverything(t *testing.T) {
+	s, err := NewSystematic(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Offer(0)
+	s.Offer(1)
+	if err := s.SetGranularity(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := offerN(s, 4, 0); len(got) != 4 {
+		t.Fatalf("k=1 after switch selected %v, want every offer", got)
+	}
+}
+
+func TestSetGranularitySameKIsNoOp(t *testing.T) {
+	// Calling with the current k must not disturb the running schedule:
+	// a controller can invoke it unconditionally every window.
+	s, err := NewSystematic(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSystematic(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if i%3 == 0 {
+			if err := s.SetGranularity(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Offer(int64(i)) != ref.Offer(int64(i)) {
+			t.Fatalf("no-op SetGranularity disturbed the schedule at offer %d", i)
+		}
+	}
+}
+
+func TestSetGranularityRejectsBadK(t *testing.T) {
+	s, err := NewSystematic(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGranularity(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := s.SetGranularity(-3); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if s.K() != 2 {
+		t.Fatalf("rejected call changed k to %d", s.K())
+	}
+}
+
+func TestResetAfterGranularityShrink(t *testing.T) {
+	// Reset stays well-defined when SetGranularity shrank k below the
+	// construction-time offset: the offset applies mod k.
+	s, err := NewSystematic(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGranularity(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	// offset 7 mod k 3 = 1: second offer is the first selected.
+	got := offerN(s, 7, 0)
+	want := []int{2, 5}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("selections after shrink+reset = %v, want %v", got, want)
+	}
+}

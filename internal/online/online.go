@@ -96,6 +96,36 @@ func NewSystematic(k, offset int) (*Systematic, error) {
 // Name implements Sampler.
 func (s *Systematic) Name() string { return "online-systematic" }
 
+// K returns the granularity currently in force.
+func (s *Systematic) K() int { return s.k }
+
+// SetGranularity switches the sampler to a new granularity mid-stream.
+//
+// Selection contract across a change: the schedule re-anchors at the
+// change point — the k-th packet offered after the call is the next
+// selected, then every k-th after it, exactly as if a selection had
+// just occurred when the granularity changed. This pins the
+// inter-selection gap immediately after a switch to exactly k; without
+// the re-anchor a free-running counter tested mod k would land the
+// first post-switch selection at an arbitrary phase of the new modulus
+// (any gap in [1, k)), biasing the first sampled interval after every
+// control decision. A call with the current granularity is a no-op:
+// the running schedule continues uninterrupted, so a controller may
+// invoke it unconditionally once per window.
+func (s *Systematic) SetGranularity(k int) error {
+	if k < 1 {
+		return ErrBadGranularity
+	}
+	if k == s.k {
+		return nil
+	}
+	s.k = k
+	// Re-anchor: k-1 packets pass, the k-th is selected (counter == 0
+	// selects, so start one past it, wrapping for k == 1).
+	s.counter = 1 % k
+	return nil
+}
+
 // Offer implements Sampler.
 func (s *Systematic) Offer(int64) bool {
 	sel := s.counter == 0
@@ -108,8 +138,10 @@ func (s *Systematic) Offer(int64) bool {
 
 // Reset implements Sampler.
 func (s *Systematic) Reset() {
-	// First selection after offset packets have passed.
-	s.counter = -s.offset
+	// First selection after offset packets have passed. The offset is
+	// reduced mod k so Reset stays well-defined after SetGranularity
+	// shrank k below the construction-time offset.
+	s.counter = -(s.offset % s.k)
 	if s.counter < 0 {
 		s.counter += s.k
 	}

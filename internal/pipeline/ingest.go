@@ -100,6 +100,13 @@ type unitBuf struct {
 // timestamp of the stream packet preceding the window's first record,
 // which lets the worker compute interarrival gaps locally; noGap0 marks
 // the unit opening the stream, whose first packet has no predecessor.
+// In adaptive mode every data unit also carries its selection-regime
+// stamp: selK is the granularity in force for the whole unit (units
+// never span a barrier, and k only changes at barriers) and selIdx is
+// the global index of the unit's first packet within the regime. A
+// worker derives packet i's selection as (selIdx+i) % selK == 0 — the
+// reader's systematic schedule reproduced without any shared counter,
+// identical for any worker count. selK == 0 means fixed-sampler mode.
 type srcUnit struct {
 	seq uint64
 	buf *unitBuf
@@ -109,6 +116,9 @@ type srcUnit struct {
 	raw    []byte
 	prevUS int64
 	noGap0 bool
+
+	selIdx uint64
+	selK   int
 }
 
 // ingestState is one parallel ingest worker: it consumes its share of
@@ -182,6 +192,7 @@ func (ig *ingestState) partitionRaw(u srcUnit) {
 	prev := u.prevUS
 	raw := u.raw
 	n := len(raw) / trace.RecordLen
+	selK := uint64(u.selK)
 	for i := 0; i < n; i++ {
 		rec := raw[i*trace.RecordLen : i*trace.RecordLen+trace.RecordLen]
 		w0 := binary.LittleEndian.Uint64(rec[0:8])
@@ -206,6 +217,7 @@ func (ig *ingestState) partitionRaw(u srcUnit) {
 			},
 			gapUS:  t - prev,
 			hasGap: i > 0 || !u.noGap0,
+			sel:    selK != 0 && (u.selIdx+uint64(i))%selK == 0,
 		})
 		prev = t
 	}
@@ -328,6 +340,7 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 			continue
 		}
 		buf := u.buf
+		selK := uint64(u.selK)
 		for i := 0; i < u.n; i++ {
 			s := shardIndex(&buf.pkts[i], len(ig.out))
 			//nslint:allow hotalloc append into a cap-pinned recycled buffer: a unit holds at most BatchSize packets and every item buffer is made with that capacity, so this never grows
@@ -335,6 +348,7 @@ func (p *Pipeline) ingestWorker(ig *ingestState) {
 				pkt:    buf.pkts[i],
 				gapUS:  buf.gaps[i],
 				hasGap: !(buf.noGap0 && i == 0),
+				sel:    selK != 0 && (u.selIdx+uint64(i))%selK == 0,
 			})
 		}
 		ig.publish(u.seq, block)

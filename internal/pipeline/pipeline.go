@@ -143,9 +143,18 @@ type Config struct {
 	// Policy is the overload policy (Block if unset).
 	Policy OverloadPolicy
 
-	// NewSampler builds shard's online sampler. Required. Random
-	// samplers must not share one RNG across shards.
+	// NewSampler builds shard's online sampler. Required unless
+	// Adaptive is set. Random samplers must not share one RNG across
+	// shards.
 	NewSampler func(shard int) (online.Sampler, error)
+
+	// Adaptive, when set, replaces NewSampler with the closed-loop
+	// systematic schedule: the reader stamps every packet's selection
+	// decision from one global regime, and a per-window control step on
+	// the barrier steers k within [MinK, MaxK]. Requires WindowUS > 0
+	// (the control loop lives on the window cut). Mutually exclusive
+	// with NewSampler.
+	Adaptive *AdaptiveConfig
 
 	// SizeScheme and IatScheme bin the two characterization targets
 	// (paper schemes if nil).
@@ -229,6 +238,16 @@ type Pipeline struct {
 	pinned   bool
 	place    cputopo.Placement
 	pinFails atomic.Uint64
+
+	// Adaptive-control state (Config.Adaptive). selK and selCount are
+	// reader-owned: the granularity in force and the packet index within
+	// the current selection regime. adaptK is collector-owned; the
+	// barrier handshake (barrier.decided) orders every cross-ownership
+	// access. decisions is guarded by mu.
+	selK      int
+	selCount  uint64
+	adaptK    int
+	decisions []AdaptiveDecision
 }
 
 // New validates cfg and builds a ready-to-Run pipeline.
@@ -236,8 +255,19 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("%w: Shards must be >= 1", ErrConfig)
 	}
-	if cfg.NewSampler == nil {
+	if cfg.NewSampler == nil && cfg.Adaptive == nil {
 		return nil, fmt.Errorf("%w: NewSampler is required", ErrConfig)
+	}
+	if cfg.Adaptive != nil {
+		if cfg.NewSampler != nil {
+			return nil, fmt.Errorf("%w: Adaptive replaces NewSampler; set only one", ErrConfig)
+		}
+		if err := cfg.Adaptive.validate(); err != nil {
+			return nil, err
+		}
+		if cfg.WindowUS <= 0 {
+			return nil, fmt.Errorf("%w: Adaptive requires WindowUS > 0", ErrConfig)
+		}
 	}
 	if cfg.IngestWorkers == 0 {
 		cfg.IngestWorkers = 1
@@ -297,12 +327,22 @@ func New(cfg Config) (*Pipeline, error) {
 		p.pinned = true
 		p.place = cputopo.Plan(topo, cfg.IngestWorkers, cfg.Shards)
 	}
+	if cfg.Adaptive != nil {
+		p.selK = cfg.Adaptive.StartK
+		p.adaptK = cfg.Adaptive.StartK
+	}
 	p.shards = make([]*shardState, cfg.Shards)
 	sizeLUT := buildSizeLUT(cfg.SizeScheme)
 	for i := range p.shards {
-		sampler, err := cfg.NewSampler(i)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: shard %d sampler: %w", i, err)
+		// In adaptive mode no shard sampler exists: the selection
+		// decision rides each item from the reader's global regime.
+		var sampler online.Sampler
+		if cfg.NewSampler != nil {
+			var err error
+			sampler, err = cfg.NewSampler(i)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard %d sampler: %w", i, err)
+			}
 		}
 		st, err := newShardState(i, sampler, &cfg, sizeLUT)
 		if err != nil {
@@ -687,13 +727,19 @@ func rawTime(raw []byte, i int) int64 {
 //nslint:hotpath
 func (p *Pipeline) sendRawUnit(raw []byte, from, to int, prevUS int64, noGap0 bool) {
 	w := int(p.useq % uint64(len(p.ingest)))
-	p.ingest[w].in.push(srcUnit{
+	u := srcUnit{
 		seq:    p.useq,
 		raw:    raw[from*trace.RecordLen : to*trace.RecordLen],
 		n:      to - from,
 		prevUS: prevUS,
 		noGap0: noGap0,
-	})
+	}
+	if p.selK > 0 {
+		u.selIdx = p.selCount
+		u.selK = p.selK
+		p.selCount += uint64(u.n)
+	}
+	p.ingest[w].in.push(u)
 	p.useq++
 }
 
@@ -709,10 +755,21 @@ func (p *Pipeline) takeUnit() *unitBuf {
 }
 
 // sendUnit hands a filled unit to its round-robin ingest worker,
-// consuming one sequence number. Reader goroutine only.
+// consuming one sequence number. In adaptive mode the unit is stamped
+// with the selection regime of its first packet (the regime's k and the
+// packet's index within it), so the ingest workers can reproduce the
+// reader's global systematic schedule without any shared counter.
+// Units never span a window barrier (splitUnit cuts them first), so one
+// stamp covers the whole unit. Reader goroutine only.
 func (p *Pipeline) sendUnit(buf *unitBuf, n int) {
 	w := int(p.useq % uint64(len(p.ingest)))
-	p.ingest[w].in.push(srcUnit{seq: p.useq, buf: buf, n: n})
+	u := srcUnit{seq: p.useq, buf: buf, n: n}
+	if p.selK > 0 {
+		u.selIdx = p.selCount
+		u.selK = p.selK
+		p.selCount += uint64(n)
+	}
+	p.ingest[w].in.push(u)
 	p.useq++
 }
 
@@ -756,6 +813,16 @@ func (p *Pipeline) takeUnitAfter() *unitBuf {
 // stream offset. Fragments are always delivered — overload may drop
 // data batches, never a cut.
 //
+// In adaptive mode the barrier doubles as the control-loop handshake:
+// the reader parks on bar.decided until the collector has merged the
+// window and run the control step, then adopts the decided k. Parking
+// here cannot deadlock — every unit and fragment of the window was
+// pushed before the wait, so the shards can always reach the cut and
+// the collector always closes decided. The wait is what makes adaptive
+// runs deterministic for any worker/shard count: every packet of
+// window w+1 is stamped under the k decided from window w, regardless
+// of how the goroutines interleave.
+//
 //nslint:coldpath runs once per window boundary; its allocations amortize over the window's packets
 func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64) {
 	p.winSeq++
@@ -767,12 +834,24 @@ func (p *Pipeline) emitBarrier(startUS, endUS int64, final bool, offered uint64)
 		offered: offered,
 		parts:   make(chan shardPart, len(p.shards)),
 	}
+	if p.selK > 0 {
+		bar.decided = make(chan struct{})
+	}
 	for range p.ingest {
 		w := int(p.useq % uint64(len(p.ingest)))
 		p.ingest[w].in.push(srcUnit{seq: p.useq, bar: bar})
 		p.useq++
 	}
 	p.barriers <- bar
+	if bar.decided != nil {
+		<-bar.decided
+		if bar.nextK != p.selK {
+			// New granularity regime: re-anchor the global schedule at
+			// the first packet of the next window.
+			p.selK = bar.nextK
+			p.selCount = 0
+		}
+	}
 }
 
 // shardOf assigns a packet to a shard by an FNV-1a hash of its 5-tuple,

@@ -18,6 +18,13 @@ type item struct {
 	pkt    trace.Packet
 	gapUS  int64
 	hasGap bool
+	// sel is the reader-decided selection verdict under adaptive
+	// control (Config.Adaptive): the global systematic schedule is
+	// evaluated at ingest from the unit's regime stamp, so every shard
+	// sees the same selected set for any worker/shard count. Unused
+	// (false) in fixed-sampler mode; fits the struct's existing
+	// trailing padding.
+	sel bool
 }
 
 // shardMsg travels a (ingest worker, shard) ring: a data batch or a
@@ -54,7 +61,10 @@ type shardState struct {
 	spin      []spinState
 
 	// Worker-owned.
-	sampler online.Sampler
+	// globalSel switches selection to the item's reader-decided sel bit
+	// (adaptive mode); sampler/sysSampler are nil in that mode.
+	globalSel bool
+	sampler   online.Sampler
 	// sysSampler devirtualizes the per-packet Offer when the sampler is
 	// the common *online.Systematic: a direct (inlinable) call instead
 	// of an interface dispatch on the path every packet takes.
@@ -96,6 +106,7 @@ func newShardState(id int, sampler online.Sampler, cfg *Config, sizeLUT []uint8)
 	sysSampler, _ := sampler.(*online.Systematic)
 	return &shardState{
 		id:         id,
+		globalSel:  cfg.Adaptive != nil,
 		sampler:    sampler,
 		sysSampler: sysSampler,
 		sizeScheme: cfg.SizeScheme,
@@ -233,7 +244,11 @@ func (p *Pipeline) shardWorker(st *shardState) {
 // it must not allocate (pinned by TestPipelineHotPathAllocs).
 func (st *shardState) process(it *item) {
 	st.processed++
-	if st.sysSampler != nil {
+	if st.globalSel {
+		if !it.sel {
+			return
+		}
+	} else if st.sysSampler != nil {
 		if !st.sysSampler.Offer(it.pkt.Time) {
 			return
 		}

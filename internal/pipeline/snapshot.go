@@ -22,6 +22,13 @@ type barrier struct {
 	final   bool
 	offered uint64
 	parts   chan shardPart
+
+	// Adaptive-control handshake (nil channel when adaptive is off):
+	// the collector stores the next window's granularity in nextK and
+	// closes decided; the reader waits on decided in emitBarrier before
+	// stamping any packet of the next window.
+	nextK   int
+	decided chan struct{}
 }
 
 // shardPart is one shard's window-local state at a barrier. dropped is
@@ -53,6 +60,11 @@ type Snapshot struct {
 	Final bool
 	// Shards is the pipeline's shard count.
 	Shards int
+	// K is the systematic granularity in force during this window under
+	// adaptive control (Config.Adaptive); 0 in fixed-sampler mode. It is
+	// deliberately absent from the wire form: adaptive state is local
+	// operational detail, and the export format stays unchanged.
+	K int
 
 	// Offered counts packets the ingest read from the source this
 	// window; Processed counts those that reached a shard worker;
@@ -97,6 +109,12 @@ func (p *Pipeline) collect() {
 			parts[part.shard] = part
 		}
 		snap := p.merge(bar, parts)
+		if bar.decided != nil {
+			// Control step before publication: the reader is parked on
+			// this barrier and every window it reads next depends on the
+			// decision, so deciding first keeps the pipeline draining.
+			p.controlStep(bar, snap)
+		}
 		p.latest.Store(snap)
 		p.mu.Lock()
 		p.snaps = append(p.snaps, snap)

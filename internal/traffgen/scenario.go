@@ -1,0 +1,200 @@
+package traffgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"netsample/internal/dist"
+	"netsample/internal/trace"
+)
+
+// Scenario composes a baseline application-mix hour with a schedule of
+// overlay phases — the scenario zoo's answer to the paper's single
+// benign 1993 trace. The baseline reproduces the calibrated aggregate
+// of Generate for the embedded Config (identical RNG stream, identical
+// packets); each phase then superimposes extra traffic over a fraction
+// of the trace: an attack model (SYN flood, port scan), a shifted
+// application mix (flash crowd), or a planted heavy hitter. All
+// randomness still flows from the one seed in Base, so a Scenario
+// generates an identical trace on every run.
+type Scenario struct {
+	Name string
+	// Base is the background traffic configuration; its Seed drives
+	// every phase overlay too.
+	Base Config
+	// Phases are applied in order, each consuming its own child RNGs,
+	// so inserting or removing a phase does not disturb the baseline.
+	Phases []Phase
+}
+
+// Phase is one overlay interval of a scenario.
+type Phase struct {
+	Name string
+	// Start and End bound the phase as fractions of Base.Duration,
+	// 0 <= Start < End <= 1.
+	Start, End float64
+	// TargetPPS is the overlay's offered rate while the phase is
+	// active, on top of the baseline.
+	TargetPPS float64
+	// Envelope modulates the overlay rate within the phase (e.g. a
+	// rising trend for a flash crowd's arrival wave).
+	Envelope EnvelopeConfig
+	// Mix, when non-nil, overlays ordinary application traffic with
+	// the given mix — a load surge rather than an attack.
+	Mix *Mix
+	// model, when non-nil, builds the phase's traffic source from a
+	// child RNG and the scenario's address pool — the attack and
+	// heavy-hitter overlays. Exactly one of Mix and model is set.
+	model func(r *dist.RNG, addrs *addressPool) sourceModel
+}
+
+// validate reports scenario construction errors.
+func (s *Scenario) validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		if ph.Start < 0 || ph.End > 1 || ph.Start >= ph.End {
+			return fmt.Errorf("traffgen: phase %q: need 0 <= Start < End <= 1", ph.Name)
+		}
+		if ph.TargetPPS <= 0 {
+			return fmt.Errorf("traffgen: phase %q: overlay rate must be positive", ph.Name)
+		}
+		if (ph.Mix == nil) == (ph.model == nil) {
+			return fmt.Errorf("traffgen: phase %q: exactly one of Mix and model must be set", ph.Name)
+		}
+		if ph.Mix != nil && ph.Mix.total() <= 0 {
+			return fmt.Errorf("traffgen: phase %q: mix weights must have positive sum", ph.Name)
+		}
+	}
+	return nil
+}
+
+// GenerateScenario synthesizes the trace described by s: the baseline
+// aggregate of s.Base with every phase overlay superimposed, one
+// time-ordered packet stream on the base capture clock.
+func GenerateScenario(s Scenario) (*trace.Trace, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	mix := s.Base.Mix
+	if mix == (Mix{}) {
+		mix = DefaultMix()
+	}
+
+	root := dist.NewRNG(s.Base.Seed)
+	env := newEnvelope(s.Base.Envelope, root.Split())
+	addrs := newAddressPool(s.Base.Profile, root.Split())
+
+	durUS := s.Base.Duration.Microseconds()
+	capacity := s.Base.TargetPPS * s.Base.Duration.Seconds() * 1.2
+	for _, ph := range s.Phases {
+		capacity += ph.TargetPPS * (ph.End - ph.Start) * s.Base.Duration.Seconds() * 1.2
+	}
+	events := getEvents(int(capacity))
+	defer putEvents(events)
+
+	// Baseline: the same child-RNG sequence as Generate, so the
+	// background traffic is packet-identical to the plain trace.
+	total := s.Base.TargetPPS * s.Base.Duration.Seconds()
+	events = appendMixEvents(events, mix, total, durUS, env, addrs, root)
+
+	// Overlays: each phase generates into phase-local time [0, span)
+	// with its own envelope, then shifts onto the trace clock. Phase
+	// order is part of the seed contract: each overlay consumes child
+	// RNGs in declaration order.
+	for _, ph := range s.Phases {
+		startUS := int64(ph.Start * float64(durUS))
+		spanUS := int64((ph.End - ph.Start) * float64(durUS))
+		if spanUS < 1 {
+			spanUS = 1
+		}
+		phaseEnv := newEnvelope(ph.Envelope, root.Split())
+		phasePackets := ph.TargetPPS * float64(spanUS) / 1e6
+		mark := len(events)
+		if ph.Mix != nil {
+			events = appendMixEvents(events, *ph.Mix, phasePackets, spanUS, phaseEnv, addrs, root)
+		} else {
+			m := ph.model(root.Split(), addrs)
+			events = appendFlows(events, m, phasePackets, spanUS, phaseEnv, addrs, root.Split())
+		}
+		for i := mark; i < len(events); i++ {
+			events[i].timeUS += startUS
+		}
+	}
+
+	return finishTrace(events, s.Base), nil
+}
+
+// ScenarioNames lists the preset scenarios in their canonical order.
+func ScenarioNames() []string {
+	return []string{"ddos", "flashcrowd", "hhchurn", "portscan", "elephantmice"}
+}
+
+// PresetScenario builds a calibrated preset scenario over a baseline of
+// the NSFNETHour character scaled to dur. The presets model the
+// workload classes a 2026 deployment must survive that the 1993 hour
+// never exercises — each stresses a different part of the sampling
+// pipeline.
+func PresetScenario(name string, seed uint64, dur time.Duration) (Scenario, error) {
+	base := NSFNETHour()
+	base.Seed = seed
+	base.Duration = dur
+	s := Scenario{Name: name, Base: base}
+	switch name {
+	case "ddos":
+		// SYN-flood burst: 10x the baseline rate of 40 B TCP SYNs from
+		// spoofed sources onto one victim during the middle third. The
+		// flood's per-packet flow churn stresses the flow table and the
+		// burst stresses the adaptive controller's drop budget.
+		s.Phases = []Phase{{
+			Name: "syn-flood", Start: 0.3, End: 0.6,
+			TargetPPS: 10 * base.TargetPPS,
+			model:     newSYNFloodModel,
+		}}
+	case "flashcrowd":
+		// Flash crowd: legitimate request/response traffic converging
+		// on one hot server, ramping in and decaying — a load surge
+		// with realistic packet sizes, unlike the flood.
+		s.Phases = []Phase{{
+			Name: "crowd", Start: 0.4, End: 0.85,
+			TargetPPS: 3 * base.TargetPPS,
+			Envelope:  EnvelopeConfig{Sigma: 0.1, Rho: 0.9, EpochSeconds: 5, TrendPerHour: -0.8},
+			model:     newFlashCrowdModel,
+		}}
+	case "hhchurn":
+		// Heavy-hitter churn: four consecutive quarters, each dominated
+		// by a different planted elephant 5-tuple, so the top-k flow
+		// ranking turns over completely four times.
+		for q := 0; q < 4; q++ {
+			s.Phases = append(s.Phases, Phase{
+				Name:  fmt.Sprintf("elephant-%d", q),
+				Start: float64(q) * 0.25, End: float64(q+1) * 0.25,
+				TargetPPS: 1.5 * base.TargetPPS,
+				model:     newElephantModel,
+			})
+		}
+	case "portscan":
+		// Port scan: one scanner sweeping a victim's ports with 1-2
+		// packet flows — maximal distinct-flow pressure per packet.
+		s.Phases = []Phase{{
+			Name: "scan", Start: 0.2, End: 0.8,
+			TargetPPS: 0.5 * base.TargetPPS,
+			model:     newPortScanModel,
+		}}
+	case "elephantmice":
+		// Elephants vs mice: a few long 1500 B trains carrying most of
+		// the bytes over a sea of short flows — the flow-size skew
+		// behind the heavy-hitter sampling literature.
+		s.Phases = []Phase{{
+			Name: "skew", Start: 0, End: 1,
+			TargetPPS: base.TargetPPS,
+			model:     newElephantMiceModel,
+		}}
+	default:
+		return Scenario{}, errors.New("traffgen: unknown scenario " + name)
+	}
+	return s, nil
+}

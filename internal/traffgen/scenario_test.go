@@ -1,0 +1,268 @@
+package traffgen
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"testing"
+	"time"
+
+	"netsample/internal/packet"
+	"netsample/internal/trace"
+)
+
+// hashTrace digests every field of every packet, so two traces hash
+// equal iff they are packet-for-packet identical.
+func hashTrace(tr *trace.Trace) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		binary.LittleEndian.PutUint64(buf[0:], uint64(p.Time))
+		binary.LittleEndian.PutUint16(buf[8:], p.Size)
+		buf[10] = byte(p.Protocol)
+		buf[11] = byte(p.TCPFlags)
+		copy(buf[12:16], p.Src[:])
+		copy(buf[16:20], p.Dst[:])
+		binary.LittleEndian.PutUint16(buf[20:], p.SrcPort)
+		binary.LittleEndian.PutUint16(buf[22:], p.DstPort)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func mustScenario(t *testing.T, name string, seed uint64, dur time.Duration) *trace.Trace {
+	t.Helper()
+	s, err := PresetScenario(name, seed, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) == 0 {
+		t.Fatalf("scenario %s generated no packets", name)
+	}
+	return tr
+}
+
+func TestScenarioPresetsDeterministic(t *testing.T) {
+	// Fixed seed => hash-identical trace; a different seed must move
+	// the hash.
+	for _, name := range ScenarioNames() {
+		a := hashTrace(mustScenario(t, name, 7, time.Minute))
+		b := hashTrace(mustScenario(t, name, 7, time.Minute))
+		if a != b {
+			t.Errorf("%s: two runs at the same seed hash %x vs %x", name, a, b)
+		}
+		c := hashTrace(mustScenario(t, name, 8, time.Minute))
+		if a == c {
+			t.Errorf("%s: seeds 7 and 8 hash identically", name)
+		}
+	}
+}
+
+func TestScenarioBaselineMatchesGenerate(t *testing.T) {
+	// A scenario with no phases is exactly the plain Generate trace:
+	// the shared aggregate helper consumes the identical RNG stream.
+	cfg := SmallTrace(11)
+	plain, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := GenerateScenario(Scenario{Name: "baseline", Base: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashTrace(plain) != hashTrace(scen) {
+		t.Fatal("phase-free scenario diverged from Generate for the same Config")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := PresetScenario("nope", 1, time.Minute); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	base := SmallTrace(1)
+	bad := []Scenario{
+		{Base: base, Phases: []Phase{{Start: 0.5, End: 0.5, TargetPPS: 10, Mix: &Mix{Bulk: 1}}}},
+		{Base: base, Phases: []Phase{{Start: -0.1, End: 0.5, TargetPPS: 10, Mix: &Mix{Bulk: 1}}}},
+		{Base: base, Phases: []Phase{{Start: 0, End: 1.5, TargetPPS: 10, Mix: &Mix{Bulk: 1}}}},
+		{Base: base, Phases: []Phase{{Start: 0, End: 1, TargetPPS: 0, Mix: &Mix{Bulk: 1}}}},
+		{Base: base, Phases: []Phase{{Start: 0, End: 1, TargetPPS: 10}}},                                              // neither source
+		{Base: base, Phases: []Phase{{Start: 0, End: 1, TargetPPS: 10, Mix: &Mix{Bulk: 1}, model: newElephantModel}}}, // both
+		{Base: base, Phases: []Phase{{Start: 0, End: 1, TargetPPS: 10, Mix: &Mix{}}}},                                 // zero mix
+	}
+	for i, s := range bad {
+		if _, err := GenerateScenario(s); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+// windowStats aggregates the packets with time in [fromFrac, toFrac) of
+// durUS.
+func windowStats(tr *trace.Trace, durUS int64, fromFrac, toFrac float64) (pps float64, pkts []trace.Packet) {
+	lo := int64(fromFrac * float64(durUS))
+	hi := int64(toFrac * float64(durUS))
+	for _, p := range tr.Packets {
+		if p.Time >= lo && p.Time < hi {
+			pkts = append(pkts, p)
+		}
+	}
+	seconds := float64(hi-lo) / 1e6
+	return float64(len(pkts)) / seconds, pkts
+}
+
+type tuple struct {
+	src, dst         packet.Addr
+	srcPort, dstPort uint16
+	proto            packet.Protocol
+}
+
+func tupleOf(p trace.Packet) tuple {
+	return tuple{p.Src, p.Dst, p.SrcPort, p.DstPort, p.Protocol}
+}
+
+func TestDDoSCalibration(t *testing.T) {
+	const dur = 2 * time.Minute
+	tr := mustScenario(t, "ddos", 21, dur)
+	durUS := dur.Microseconds()
+	burstPPS, burst := windowStats(tr, durUS, 0.3, 0.6)
+	prePPS, pre := windowStats(tr, durUS, 0, 0.3)
+	if burstPPS < 5*prePPS {
+		t.Fatalf("burst amplitude %.0f pps vs %.0f baseline; want >= 5x", burstPPS, prePPS)
+	}
+	synFrac := func(pkts []trace.Packet) float64 {
+		n := 0
+		for _, p := range pkts {
+			if p.TCPFlags&packet.TCPSyn != 0 && p.Size == 40 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(pkts))
+	}
+	if f := synFrac(burst); f < 0.6 {
+		t.Fatalf("burst SYN fraction %.2f, want >= 0.6", f)
+	}
+	if f := synFrac(pre); f > 0.05 {
+		t.Fatalf("baseline SYN fraction %.2f, want <= 0.05", f)
+	}
+}
+
+func TestFlashCrowdCalibration(t *testing.T) {
+	const dur = 2 * time.Minute
+	tr := mustScenario(t, "flashcrowd", 22, dur)
+	durUS := dur.Microseconds()
+	crowdPPS, crowd := windowStats(tr, durUS, 0.4, 0.85)
+	prePPS, _ := windowStats(tr, durUS, 0, 0.4)
+	if crowdPPS < 2.5*prePPS {
+		t.Fatalf("crowd rate %.0f pps vs %.0f baseline; want >= 2.5x", crowdPPS, prePPS)
+	}
+	// The crowd converges on one hot server.
+	byDst := map[packet.Addr]int{}
+	for _, p := range crowd {
+		byDst[p.Dst]++
+	}
+	top := 0
+	for _, c := range byDst {
+		if c > top {
+			top = c
+		}
+	}
+	if frac := float64(top) / float64(len(crowd)); frac < 0.4 {
+		t.Fatalf("hot server carries %.2f of crowd packets, want >= 0.4", frac)
+	}
+}
+
+func TestHeavyHitterChurnCalibration(t *testing.T) {
+	const dur = 2 * time.Minute
+	tr := mustScenario(t, "hhchurn", 23, dur)
+	durUS := dur.Microseconds()
+	tops := make([]tuple, 0, 4)
+	for q := 0; q < 4; q++ {
+		_, pkts := windowStats(tr, durUS, float64(q)*0.25, float64(q+1)*0.25)
+		counts := map[tuple]int{}
+		for _, p := range pkts {
+			counts[tupleOf(p)]++
+		}
+		var top tuple
+		best := 0
+		for k, c := range counts {
+			if c > best {
+				best, top = c, k
+			}
+		}
+		if frac := float64(best) / float64(len(pkts)); frac < 0.25 {
+			t.Fatalf("quarter %d: planted elephant carries %.2f of packets, want >= 0.25", q, frac)
+		}
+		tops = append(tops, top)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if tops[i] == tops[j] {
+				t.Fatalf("quarters %d and %d share the top flow %+v: no churn", i, j, tops[i])
+			}
+		}
+	}
+}
+
+func TestPortScanCalibration(t *testing.T) {
+	const dur = 2 * time.Minute
+	tr := mustScenario(t, "portscan", 24, dur)
+	durUS := dur.Microseconds()
+	_, scan := windowStats(tr, durUS, 0.2, 0.8)
+	_, pre := windowStats(tr, durUS, 0, 0.2)
+	ports := map[uint16]bool{}
+	for _, p := range scan {
+		if p.Size == 40 && p.TCPFlags&packet.TCPSyn != 0 {
+			ports[p.DstPort] = true
+		}
+	}
+	if len(ports) < 1000 {
+		t.Fatalf("scan probed %d distinct ports, want >= 1000", len(ports))
+	}
+	// Active-flow pressure: the scan window must hold far more distinct
+	// 5-tuples per second than the baseline-only window.
+	distinctPerSec := func(pkts []trace.Packet, seconds float64) float64 {
+		set := map[tuple]bool{}
+		for _, p := range pkts {
+			set[tupleOf(p)] = true
+		}
+		return float64(len(set)) / seconds
+	}
+	scanRate := distinctPerSec(scan, 0.6*dur.Seconds())
+	preRate := distinctPerSec(pre, 0.2*dur.Seconds())
+	if scanRate < 2*preRate {
+		t.Fatalf("scan window active-flow rate %.1f/s vs %.1f/s baseline; want >= 2x", scanRate, preRate)
+	}
+}
+
+func TestElephantMiceCalibration(t *testing.T) {
+	const dur = 2 * time.Minute
+	tr := mustScenario(t, "elephantmice", 25, dur)
+	bytesBy := map[tuple]int64{}
+	var total int64
+	for _, p := range tr.Packets {
+		bytesBy[tupleOf(p)] += int64(p.Size)
+		total += int64(p.Size)
+	}
+	sizes := make([]int64, 0, len(bytesBy))
+	for _, b := range bytesBy {
+		sizes = append(sizes, b)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] > sizes[j] })
+	var acc int64
+	covering := 0
+	for _, b := range sizes {
+		acc += b
+		covering++
+		if acc*2 >= total {
+			break
+		}
+	}
+	if frac := float64(covering) / float64(len(sizes)); frac > 0.02 {
+		t.Fatalf("half the bytes need %.3f of the flows, want <= 0.02 (skew missing)", frac)
+	}
+}

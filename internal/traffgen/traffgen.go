@@ -162,7 +162,6 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	if mix == (Mix{}) {
 		mix = DefaultMix()
 	}
-	norm := mix.total()
 
 	root := dist.NewRNG(cfg.Seed)
 	envelope := newEnvelope(cfg.Envelope, root.Split())
@@ -173,9 +172,26 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	events := getEvents(int(cfg.TargetPPS * cfg.Duration.Seconds() * 1.2))
 	defer putEvents(events)
 
-	// The models carry per-flow scratch state (one live flow at a time),
-	// so they are per-call, never shared: Generate stays safe to run
-	// concurrently from multiple goroutines.
+	total := cfg.TargetPPS * cfg.Duration.Seconds()
+	events = appendMixEvents(events, mix, total, durUS, envelope, addrs, root)
+
+	return finishTrace(events, cfg), nil
+}
+
+// appendMixEvents realizes the application-mix aggregate: one
+// appendFlows pass per weighted model, each consuming its own child of
+// root in declaration order. Generate and GenerateScenario share this
+// helper, so a scenario's baseline hour consumes the identical RNG
+// stream — and therefore emits the identical packets — as the plain
+// Generate trace for the same Config.
+//
+// The models carry per-flow scratch state (one live flow at a time),
+// so they are per-call, never shared: callers stay safe to run
+// concurrently from multiple goroutines.
+func appendMixEvents(events []event, mix Mix, totalPackets float64, durUS int64,
+	env *envelope, addrs *addressPool, root *dist.RNG) []event {
+
+	norm := mix.total()
 	models := []struct {
 		weight float64
 		model  sourceModel
@@ -191,10 +207,15 @@ func Generate(cfg Config) (*trace.Trace, error) {
 		if m.weight <= 0 {
 			continue
 		}
-		targetPackets := cfg.TargetPPS * cfg.Duration.Seconds() * m.weight / norm
-		events = appendFlows(events, m.model, targetPackets, durUS, envelope, addrs, root.Split())
+		targetPackets := totalPackets * m.weight / norm
+		events = appendFlows(events, m.model, targetPackets, durUS, env, addrs, root.Split())
 	}
+	return events
+}
 
+// finishTrace time-orders the staged events and materializes the trace,
+// applying the capture-clock quantization.
+func finishTrace(events []event, cfg Config) *trace.Trace {
 	sort.Slice(events, func(i, j int) bool { return events[i].timeUS < events[j].timeUS })
 
 	tr := &trace.Trace{Start: cfg.Start, ClockUS: cfg.ClockUS}
@@ -208,7 +229,7 @@ func Generate(cfg Config) (*trace.Trace, error) {
 		p.Time = t
 		tr.Packets = append(tr.Packets, p)
 	}
-	return tr, nil
+	return tr
 }
 
 // appendFlows spawns flows of one model until the model has contributed

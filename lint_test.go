@@ -190,3 +190,27 @@ func TestColdpathKeepsPinningOffHotPath(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveControlStaysOffHotPath audits the closed-loop sampling
+// controller the same way: the per-window control step — merge-time
+// scoring, the decide() law, the decision log append — runs in the
+// collector at a window barrier, once per window, and must never reach
+// the per-packet //nslint:hotpath closure. If a refactor moves the
+// decision into the shard workers or the ingest loop (for example to
+// avoid the barrier handshake), the coldpath boundary on controlStep
+// disappears and this test names the leak directly.
+func TestAdaptiveControlStaysOffHotPath(t *testing.T) {
+	loader, module, _, _ := lintModule(t)
+	mp := loader.ModulePath
+	banned := map[string]bool{
+		"(*" + mp + "/internal/pipeline.Pipeline).controlStep":    true,
+		"(*" + mp + "/internal/pipeline.AdaptiveConfig).decide":   true,
+		"(*" + mp + "/internal/pipeline.AdaptiveConfig).validate": true,
+	}
+	for _, e := range module.HotClosure() {
+		name := e.Func.FullName()
+		if banned[name] {
+			t.Errorf("adaptive control function %s reached the //nslint:hotpath closure; its //nslint:coldpath boundary is gone", name)
+		}
+	}
+}
